@@ -1,0 +1,325 @@
+(* tightspace: command-line front end to the reproduction.
+
+   Subcommands mirror the experiment families:
+     witness    run the Zhu Theorem-1 adversary against a protocol
+     check      bounded model-check a protocol's consensus properties
+     jtt        run the perturbable-object covering adversary
+     mutex      cost canonical mutual-exclusion executions
+     encode     Fan-Lynch encoder/decoder round trip
+     elect      run weak leader election under a random schedule
+     multicore  run a protocol on real domains over atomics            *)
+open Cmdliner
+open Ts_model
+open Ts_core
+open Ts_protocols
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let protocol_of_name name n =
+  match name with
+  | "racing" -> Ok (Protocol.Packed (Racing.make ~n))
+  | "racing-rand" -> Ok (Protocol.Packed (Racing.make_randomized ~n))
+  | "broken-lww" -> Ok (Protocol.Packed (Broken.last_write_wins ~n))
+  | "broken-max" -> Ok (Protocol.Packed (Broken.naive_max ~n))
+  | "broken-const" -> Ok (Protocol.Packed (Broken.oblivious_seven ~n))
+  | "broken-spin" -> Ok (Protocol.Packed (Broken.insomniac ~n))
+  | "swap" ->
+    if n = 2 then Ok (Protocol.Packed (Swap_consensus.two_process ()))
+    else Error (`Msg "swap consensus exists only for n = 2")
+  | "swap-chain" -> Ok (Protocol.Packed (Swap_consensus.naive_chain ~n))
+  | _ -> Error (`Msg ("unknown protocol: " ^ name))
+
+let protocol_arg =
+  Arg.(value & opt string "racing"
+       & info [ "protocol" ] ~docv:"NAME"
+           ~doc:"Protocol: racing, racing-rand, swap, swap-chain, broken-lww, broken-max, broken-const, broken-spin.")
+
+(* witness *)
+let witness n horizon protocol diagram =
+  match protocol_of_name protocol n with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok (Protocol.Packed proto) ->
+    let attempt () =
+      match horizon with
+      | Some h ->
+        let t = Valency.create proto ~horizon:h in
+        Theorem.theorem1 t, h
+      | None -> Theorem.theorem1_auto proto ~initial_horizon:(10 * n) ~max_horizon:(160 * n)
+    in
+    (match attempt () with
+     | cert, used ->
+       Format.printf "%a@.(oracle horizon: %d)@." Theorem.pp_certificate cert used;
+       if diagram then
+         Format.printf "@.%s@." (Diagram.render ~n cert.Theorem.trace);
+       (match Theorem.verify cert proto with
+        | Ok () -> Format.printf "independent replay: verified.@."; 0
+        | Error e -> Format.printf "replay FAILED: %s@." e; 1)
+     | exception Valency.Horizon_exceeded msg ->
+       Format.printf "oracle horizon too small: %s@." msg; 1
+     | exception Failure msg -> Format.printf "construction failed: %s@." msg; 1)
+
+let horizon_arg =
+  Arg.(value & opt (some int) None & info [ "horizon" ] ~docv:"H"
+         ~doc:"Valency oracle search depth (default 30n+10).")
+
+let witness_cmd =
+  let diagram =
+    Arg.(value & flag & info [ "diagram" ] ~doc:"Render the witness as a space-time diagram.")
+  in
+  Cmd.v (Cmd.info "witness" ~doc:"Run the Zhu Theorem-1 adversary")
+    Term.(const witness $ n_arg $ horizon_arg $ protocol_arg $ diagram)
+
+(* check *)
+let check n protocol max_configs max_depth =
+  match protocol_of_name protocol n with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok (Protocol.Packed proto) ->
+    let r =
+      Ts_checker.Explore.check_consensus proto
+        ~inputs_list:(Ts_checker.Explore.binary_inputs n) ~max_configs ~max_depth
+        ~solo_budget:300 ~check_solo:true
+    in
+    let s = r.Ts_checker.Explore.stats in
+    (match r.Ts_checker.Explore.verdict with
+     | Ok () ->
+       Format.printf "clean: %d configurations explored (truncated: %b, deepest: %d)@."
+         s.Ts_checker.Explore.configs_explored s.Ts_checker.Explore.truncated
+         s.Ts_checker.Explore.deepest;
+       0
+     | Error v ->
+       Format.printf "VIOLATION: %a@." Ts_checker.Explore.pp_violation v;
+       1)
+
+let check_cmd =
+  let max_configs =
+    Arg.(value & opt int 60_000 & info [ "max-configs" ] ~doc:"Exploration cap.")
+  in
+  let max_depth = Arg.(value & opt int 40 & info [ "max-depth" ] ~doc:"Depth cap.") in
+  Cmd.v (Cmd.info "check" ~doc:"Bounded model-check a protocol")
+    Term.(const check $ n_arg $ protocol_arg $ max_configs $ max_depth)
+
+(* jtt *)
+let jtt n obj =
+  let run =
+    match obj with
+    | "counter" -> Some Ts_perturb.Adversary.run_counter
+    | "maxreg" -> Some Ts_perturb.Adversary.run_maxreg
+    | "snapshot" -> Some Ts_perturb.Adversary.run_snapshot
+    | _ -> None
+  in
+  match run with
+  | None -> prerr_endline ("unknown object: " ^ obj); 1
+  | Some run ->
+    Format.printf "%a@." Ts_perturb.Adversary.pp_report (run ~n);
+    0
+
+let jtt_cmd =
+  let obj =
+    Arg.(value & opt string "counter"
+         & info [ "object" ] ~docv:"OBJ" ~doc:"counter, maxreg or snapshot.")
+  in
+  Cmd.v (Cmd.info "jtt" ~doc:"Run the perturbable-object covering adversary")
+    Term.(const jtt $ n_arg $ obj)
+
+(* mutex *)
+let mutex n alg contended =
+  let packed =
+    match alg with
+    | "peterson" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Peterson.make ~n))
+    | "tournament" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Tournament.make ~n))
+    | "bakery" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Bakery.make ~n))
+    | "tas" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Tas_lock.make ~n))
+    | _ -> None
+  in
+  match packed with
+  | None -> prerr_endline ("unknown algorithm: " ^ alg); 1
+  | Some (Ts_mutex.Algorithm.Packed a) ->
+    let o =
+      if contended then Ts_mutex.Arena.contended a
+      else Ts_mutex.Arena.serial a ~order:(Array.init n Fun.id)
+    in
+    Format.printf "%s n=%d: cost=%d accesses=%d steps=%d (FL bound nlog2n = %.0f)@."
+      o.Ts_mutex.Arena.algorithm n o.Ts_mutex.Arena.cost o.Ts_mutex.Arena.accesses
+      o.Ts_mutex.Arena.steps (Bounds.fan_lynch_cost n);
+    Format.printf "CS order: %a@." Fmt.(Dump.list int) o.Ts_mutex.Arena.cs_order;
+    0
+
+let mutex_cmd =
+  let alg =
+    Arg.(value & opt string "tournament"
+         & info [ "alg" ] ~docv:"ALG" ~doc:"peterson, bakery, tournament or tas.")
+  in
+  let contended =
+    Arg.(value & flag & info [ "contended" ] ~doc:"Round-robin contention instead of serial.")
+  in
+  Cmd.v (Cmd.info "mutex" ~doc:"Cost a canonical mutual-exclusion execution")
+    Term.(const mutex $ n_arg $ alg $ contended)
+
+(* encode *)
+let encode n seed =
+  let alg = Ts_mutex.Tournament.make ~n in
+  let order = Rng.permutation (Rng.create seed) n in
+  let o = Ts_mutex.Arena.serial alg ~order in
+  match Ts_encoder.Codec.round_trip alg o with
+  | Ok enc ->
+    Format.printf "order %a -> %d bits (entropy floor log2(n!) = %.1f); decoded OK@."
+      Fmt.(Dump.list int) (Array.to_list order) (snd enc.Ts_encoder.Codec.bits)
+      (Bounds.log2_factorial n);
+    0
+  | Error e ->
+    Format.printf "round trip failed: %s@." e;
+    1
+
+let encode_cmd =
+  Cmd.v (Cmd.info "encode" ~doc:"Fan-Lynch encoder/decoder round trip")
+    Term.(const encode $ n_arg $ seed_arg)
+
+(* elect *)
+let elect n seed =
+  let rng = Rng.create seed in
+  let s = Ts_objects.Runner.create (Ts_leader.Election.make ~n) in
+  for p = 0 to n - 1 do
+    Ts_objects.Runner.invoke s p Ts_leader.Election.Elect
+  done;
+  let pending = ref (List.init n Fun.id) in
+  let leader = ref None in
+  while !pending <> [] do
+    let p = List.nth !pending (Rng.int rng (List.length !pending)) in
+    match Ts_objects.Runner.step s p with
+    | `Returned v ->
+      if Value.to_bool v then leader := Some p;
+      pending := List.filter (fun q -> q <> p) !pending
+    | `Continues -> ()
+  done;
+  (match !leader with
+   | Some p -> Format.printf "leader: p%d (everyone else learned they lost)@." p
+   | None -> Format.printf "BUG: no leader elected@.");
+  if !leader = None then 1 else 0
+
+let elect_cmd =
+  Cmd.v (Cmd.info "elect" ~doc:"Weak leader election under a random schedule")
+    Term.(const elect $ n_arg $ seed_arg)
+
+(* multicore *)
+let multicore n trials seed =
+  let s =
+    Ts_runtime.Atomic_run.run (Racing.make ~n) ~trials ~seed ~step_budget:1_000_000
+      ~mixed_inputs:true
+  in
+  Format.printf "%a@." Ts_runtime.Atomic_run.pp_stats s;
+  if s.Ts_runtime.Atomic_run.agreement_failures = 0 then 0 else 1
+
+let multicore_cmd =
+  let trials = Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Number of trials.") in
+  Cmd.v (Cmd.info "multicore" ~doc:"Run racing consensus on real domains")
+    Term.(const multicore $ n_arg $ trials $ seed_arg)
+
+(* kset *)
+let kset n k seed =
+  let proto = Kset.make ~n ~k in
+  let rng = Rng.create seed in
+  let inputs = Array.init n (fun _ -> Value.int (Rng.int rng 2)) in
+  let o =
+    Sim.run proto ~inputs ~policy:(Sim.Random rng) ~flips:(fun () -> Rng.bool rng)
+      ~budget:2_000_000
+  in
+  let decided = List.sort_uniq Value.compare (List.map snd o.Sim.decisions) in
+  Format.printf "inputs [%a]: %d processes decided %d distinct value(s) {%a} (k = %d)@."
+    Fmt.(array ~sep:(any ";") Value.pp) inputs
+    (List.length o.Sim.decisions) (List.length decided)
+    Fmt.(list ~sep:comma Value.pp) decided k;
+  if List.length decided <= k then 0 else 1
+
+let kset_cmd =
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"At most k distinct decisions.") in
+  Cmd.v (Cmd.info "kset" ~doc:"Run partitioned k-set agreement")
+    Term.(const kset $ n_arg $ k $ seed_arg)
+
+(* multi *)
+let multi n bits seed =
+  let proto = Multivalued.make ~n ~bits in
+  let rng = Rng.create seed in
+  let inputs = Array.init n (fun _ -> Value.int (Rng.int rng (1 lsl bits))) in
+  let o =
+    Sim.run proto ~inputs ~policy:(Sim.Random rng) ~flips:(fun () -> Rng.bool rng)
+      ~budget:3_000_000
+  in
+  (match Sim.agreement o with
+   | Ok v ->
+     Format.printf "inputs [%a] -> agreed on %a (%d-bit values, %d registers)@."
+       Fmt.(array ~sep:(any ";") Value.pp) inputs Value.pp v bits
+       proto.Protocol.num_registers;
+     0
+   | Error vs ->
+     Format.printf "DISAGREEMENT: %a@." Fmt.(Dump.list Value.pp) vs;
+     1)
+
+let multi_cmd =
+  let bits = Arg.(value & opt int 3 & info [ "bits" ] ~docv:"B" ~doc:"Input width in bits.") in
+  Cmd.v (Cmd.info "multi" ~doc:"Run multivalued consensus (bit-by-bit reduction)")
+    Term.(const multi $ n_arg $ bits $ seed_arg)
+
+(* dot *)
+let dot_out n depth file =
+  let proto = Racing.make ~n in
+  let t = Valency.create proto ~horizon:(30 * n) in
+  let inputs = Array.init n (fun p -> Value.int (if p = 1 then 1 else 0)) in
+  let dot, stats =
+    Valgraph.dot t ~inputs ~pset:(Pset.all n) ~depth ~max_nodes:5_000
+  in
+  let oc = open_out file in
+  output_string oc dot;
+  close_out oc;
+  Format.printf
+    "wrote %s: %d configurations, %d edges (%d bivalent, %d 0-univalent, %d 1-univalent)@."
+    file stats.Valgraph.nodes stats.Valgraph.edges stats.Valgraph.bivalent
+    stats.Valgraph.univalent0 stats.Valgraph.univalent1;
+  0
+
+let dot_cmd =
+  let depth = Arg.(value & opt int 10 & info [ "depth" ] ~docv:"D" ~doc:"Exploration depth.") in
+  let file =
+    Arg.(value & opt string "valency.dot" & info [ "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export the valency-annotated configuration graph (Graphviz)")
+    Term.(const dot_out $ n_arg $ depth $ file)
+
+(* cover *)
+let cover n alg budget =
+  let packed =
+    match alg with
+    | "peterson" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Peterson.make ~n))
+    | "tournament" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Tournament.make ~n))
+    | "bakery" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Bakery.make ~n))
+    | "tas" -> Some (Ts_mutex.Algorithm.Packed (Ts_mutex.Tas_lock.make ~n))
+    | _ -> None
+  in
+  match packed with
+  | None -> prerr_endline ("unknown algorithm: " ^ alg); 1
+  | Some (Ts_mutex.Algorithm.Packed a) ->
+    Format.printf "%a@." Ts_mutex.Covering_search.pp_report
+      (Ts_mutex.Covering_search.search a ~max_configs:budget);
+    0
+
+let cover_cmd =
+  let alg =
+    Arg.(value & opt string "peterson" & info [ "alg" ] ~docv:"ALG" ~doc:"peterson, bakery, tournament or tas.")
+  in
+  let budget = Arg.(value & opt int 100_000 & info [ "budget" ] ~doc:"Configuration cap.") in
+  Cmd.v (Cmd.info "cover" ~doc:"Search a lock's state space for covering configurations (BL93)")
+    Term.(const cover $ n_arg $ alg $ budget)
+
+let () =
+  let doc = "executable reproduction of 'A Tight Space Bound for Consensus'" in
+  let info = Cmd.info "tightspace" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            witness_cmd; check_cmd; jtt_cmd; mutex_cmd; encode_cmd; elect_cmd;
+            multicore_cmd; kset_cmd; multi_cmd; dot_cmd; cover_cmd;
+          ]))

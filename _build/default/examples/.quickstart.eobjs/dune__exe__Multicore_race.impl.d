@@ -1,0 +1,1 @@
+examples/multicore_race.ml: Atomic_run Format List Racing Ts_protocols Ts_runtime

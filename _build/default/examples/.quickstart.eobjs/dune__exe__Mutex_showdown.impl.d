@@ -1,0 +1,1 @@
+examples/mutex_showdown.ml: Arena Array Dump Fmt Format Fun List Peterson Rng Tas_lock Tournament Ts_core Ts_encoder Ts_model Ts_mutex

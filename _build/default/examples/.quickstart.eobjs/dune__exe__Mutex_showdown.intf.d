@@ -1,0 +1,1 @@
+examples/mutex_showdown.mli:

@@ -1,0 +1,1 @@
+examples/perturbation.ml: Adversary Fmt Format List Ts_model Ts_perturb

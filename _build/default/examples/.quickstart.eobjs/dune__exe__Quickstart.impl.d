@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dump Execution Fmt Format List Protocol Racing Rng Sim Ts_model Ts_protocols Value

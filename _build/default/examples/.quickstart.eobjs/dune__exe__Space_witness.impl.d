@@ -1,0 +1,1 @@
+examples/space_witness.ml: Config Execution Fmt Format List Racing Theorem Ts_core Ts_model Ts_protocols Valency

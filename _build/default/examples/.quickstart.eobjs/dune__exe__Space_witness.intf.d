@@ -1,0 +1,1 @@
+examples/space_witness.mli:

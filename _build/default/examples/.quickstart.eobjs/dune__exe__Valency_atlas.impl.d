@@ -1,0 +1,1 @@
+examples/valency_atlas.ml: Diagram Format Pset Racing Sim Ts_core Ts_model Ts_protocols Valency Valgraph Value

@@ -1,0 +1,1 @@
+examples/valency_atlas.mli:

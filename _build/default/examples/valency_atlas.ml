@@ -1,0 +1,44 @@
+(* The pictures behind the proofs, generated from a real protocol.
+
+   Two artefacts:
+   - an ASCII space-time diagram of an adversarial execution (the lanes
+     the covering arguments are usually drawn with), and
+   - the valency-annotated configuration graph of 2-process racing
+     consensus, written to valency.dot for Graphviz (`dot -Tsvg`).
+
+     dune exec examples/valency_atlas.exe
+*)
+open Ts_model
+open Ts_core
+open Ts_protocols
+
+let () =
+  (* a lockstep duel, drawn *)
+  let proto = Racing.make ~n:2 in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let o =
+    Sim.run proto ~inputs ~policy:(Sim.Alternating (0, 1)) ~flips:(fun () -> false)
+      ~budget:40
+  in
+  Format.printf "racing-2 under a lockstep schedule (w = write, r = read):@.@.%s@."
+    (Diagram.render ~width:20 ~n:2 o.Sim.trace);
+
+  (* the valency atlas *)
+  let t = Valency.create proto ~horizon:40 in
+  let dot, stats =
+    Valgraph.dot t ~inputs ~pset:(Pset.all 2) ~depth:12 ~max_nodes:4_000
+  in
+  let file = "valency.dot" in
+  let oc = open_out file in
+  output_string oc dot;
+  close_out oc;
+  Format.printf
+    "wrote %s: %d configurations, %d edges@.\
+    \  bivalent: %d   0-univalent: %d   1-univalent: %d@.\
+     render with:  dot -Tsvg %s -o valency.svg@.@."
+    file stats.Valgraph.nodes stats.Valgraph.edges stats.Valgraph.bivalent
+    stats.Valgraph.univalent0 stats.Valgraph.univalent1 file;
+  Format.printf
+    "The bivalent region (ellipses) narrows between the two univalent regions@.\
+     (boxes) — the FLP picture.  Zhu's Lemma 4 walks this graph keeping a pair@.\
+     bivalent while parking everyone else on covered registers.@."

@@ -1,0 +1,1 @@
+lib/checker/explore.ml: Action Array Config Execution Fmt Hashtbl List Protocol Queue Stdlib Ts_model Value

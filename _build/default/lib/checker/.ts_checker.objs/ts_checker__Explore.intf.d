@@ -1,0 +1,1 @@
+lib/checker/explore.mli: Execution Format Protocol Stdlib Ts_model Value

@@ -1,0 +1,170 @@
+open Ts_model
+
+type violation =
+  | Agreement_violation of { inputs : Value.t array; schedule : Execution.event list; values : Value.t list }
+  | Validity_violation of { inputs : Value.t array; schedule : Execution.event list; value : Value.t }
+  | Solo_stuck of { inputs : Value.t array; schedule : Execution.event list; pid : int }
+
+type stats = {
+  configs_explored : int;
+  truncated : bool;
+  deepest : int;
+}
+
+type result = {
+  verdict : (unit, violation) Stdlib.result;
+  stats : stats;
+}
+
+(* Can [p], running alone from [cfg], decide within [budget] steps for some
+   resolution of its coin flips?  BFS over coin outcomes with a visited set
+   (BFS + visited is complete for "reachable within budget"). *)
+let solo_can_decide proto cfg p ~budget ~cache =
+  match Hashtbl.find_opt cache (cfg, p) with
+  | Some r -> r
+  | None ->
+  let visited = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Queue.add (cfg, 0) q;
+  Hashtbl.replace visited cfg ();
+  let found = ref false in
+  (try
+     while not (Queue.is_empty q) do
+       let cfg, depth = Queue.pop q in
+       (match Config.has_decided cfg p with
+        | Some _ ->
+          found := true;
+          raise Exit
+        | None -> ());
+       if depth < budget then
+         let push cfg' =
+           if not (Hashtbl.mem visited cfg') then begin
+             Hashtbl.replace visited cfg' ();
+             Queue.add (cfg', depth + 1) q
+           end
+         in
+         match Config.poised proto cfg p with
+         | None -> ()
+         | Some Action.Flip ->
+           push (fst (Config.step proto cfg p ~coin:(Some true)));
+           push (fst (Config.step proto cfg p ~coin:(Some false)))
+         | Some _ -> push (fst (Config.step proto cfg p ~coin:None))
+     done
+   with Exit -> ());
+  Hashtbl.replace cache (cfg, p) !found;
+  !found
+
+exception Found of violation
+
+(* Successor configurations of [cfg]: one per undecided process, two for a
+   process poised to flip. *)
+let successors proto cfg =
+  let n = proto.Protocol.num_processes in
+  let acc = ref [] in
+  for p = n - 1 downto 0 do
+    match Config.poised proto cfg p with
+    | None -> ()
+    | Some Action.Flip ->
+      List.iter
+        (fun b ->
+          let cfg', _ = Config.step proto cfg p ~coin:(Some b) in
+          acc := (Execution.flip p b, cfg') :: !acc)
+        [ true; false ]
+    | Some _ ->
+      let cfg', _ = Config.step proto cfg p ~coin:None in
+      acc := (Execution.ev p, cfg') :: !acc
+  done;
+  !acc
+
+let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
+    ~explored ~truncated ~deepest =
+  let module H = Hashtbl in
+  let solo_cache = H.create 4096 in
+  let visited = H.create 4096 in
+  let key cfg = cfg in
+  let cfg0 = Config.initial proto ~inputs in
+  (* queue holds (config, reversed schedule, depth) *)
+  let q = Queue.create () in
+  Queue.add (cfg0, [], 0) q;
+  H.replace visited (key cfg0) ();
+  let check cfg rev_sched =
+    let schedule () = List.rev rev_sched in
+    let decided = Config.decided_values cfg in
+    List.iter
+      (fun v ->
+        if not (Array.exists (Value.equal v) inputs) then
+          raise (Found (Validity_violation { inputs; schedule = schedule (); value = v })))
+      decided;
+    if List.length decided > k then
+      raise (Found (Agreement_violation { inputs; schedule = schedule (); values = decided }));
+    if check_solo then
+      for p = 0 to proto.Protocol.num_processes - 1 do
+        if Config.has_decided cfg p = None
+           && not (solo_can_decide proto cfg p ~budget:solo_budget ~cache:solo_cache)
+        then raise (Found (Solo_stuck { inputs; schedule = schedule (); pid = p }))
+      done
+  in
+  try
+    while not (Queue.is_empty q) do
+      let cfg, rev_sched, depth = Queue.pop q in
+      incr explored;
+      if depth > !deepest then deepest := depth;
+      check cfg rev_sched;
+      if depth >= max_depth || !explored >= max_configs then truncated := true
+      else
+        List.iter
+          (fun (e, cfg') ->
+            if not (H.mem visited (key cfg')) then begin
+              H.replace visited (key cfg') ();
+              Queue.add (cfg', e :: rev_sched, depth + 1) q
+            end)
+          (successors proto cfg)
+    done;
+    Ok ()
+  with Found v -> Error v
+
+let check_set_agreement ~k proto ~inputs_list ~max_configs ~max_depth
+    ~solo_budget ~check_solo =
+  let explored = ref 0 and truncated = ref false and deepest = ref 0 in
+  let verdict =
+    List.fold_left
+      (fun acc inputs ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget
+            ~check_solo ~explored ~truncated ~deepest)
+      (Ok ()) inputs_list
+  in
+  {
+    verdict;
+    stats =
+      { configs_explored = !explored; truncated = !truncated; deepest = !deepest };
+  }
+
+let check_consensus proto = check_set_agreement ~k:1 proto
+
+let binary_inputs n =
+  let rec go k =
+    if k = 0 then [ [] ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map (fun tl -> [ 0 :: tl; 1 :: tl ]) rest
+  in
+  List.map (fun bits -> Array.of_list (List.map Value.int bits)) (go n)
+
+let pp_violation ppf = function
+  | Agreement_violation { inputs; values; schedule } ->
+    Fmt.pf ppf "agreement violated: inputs=[%a] decided {%a} after %d steps"
+      Fmt.(array ~sep:(any ";") Value.pp) inputs
+      Fmt.(list ~sep:comma Value.pp) values
+      (List.length schedule)
+  | Validity_violation { inputs; value; schedule } ->
+    Fmt.pf ppf "validity violated: inputs=[%a] decided %a after %d steps"
+      Fmt.(array ~sep:(any ";") Value.pp) inputs
+      Value.pp value (List.length schedule)
+  | Solo_stuck { inputs; pid; schedule } ->
+    Fmt.pf ppf
+      "solo termination violated: inputs=[%a], p%d cannot decide solo after %d prefix steps"
+      Fmt.(array ~sep:(any ";") Value.pp) inputs
+      pid (List.length schedule)

@@ -1,0 +1,68 @@
+(** Bounded exhaustive exploration of a protocol's configuration graph.
+
+    Verifies the three consensus properties on all configurations reachable
+    within the given bounds:
+
+    - {b Agreement}: no reachable configuration contains two different
+      decisions.
+    - {b Validity}: every decision is one of the inputs.
+    - {b Solo termination}: from every reachable configuration, every
+      undecided process has a solo execution that decides within
+      [solo_budget] steps (for protocols with coin flips, some resolution
+      of the coins decides — Zhu's "nondeterministic solo termination").
+
+    Exploration is exhaustive up to [max_configs] distinct configurations
+    and [max_depth] steps; racing-style protocols have infinite reachable
+    sets under adversarial scheduling, so a clean run is a *bounded*
+    guarantee — [stats.truncated] says whether the bound was hit.  A
+    reported violation is always a genuine counterexample, replayable from
+    the returned schedule. *)
+
+open Ts_model
+
+type violation =
+  | Agreement_violation of { inputs : Value.t array; schedule : Execution.event list; values : Value.t list }
+  | Validity_violation of { inputs : Value.t array; schedule : Execution.event list; value : Value.t }
+  | Solo_stuck of { inputs : Value.t array; schedule : Execution.event list; pid : int }
+
+type stats = {
+  configs_explored : int;
+  truncated : bool;  (** true if max_configs or max_depth stopped the search *)
+  deepest : int;  (** depth of the deepest configuration explored *)
+}
+
+type result = {
+  verdict : (unit, violation) Stdlib.result;
+  stats : stats;
+}
+
+(** [check_consensus proto ~inputs_list ~max_configs ~max_depth ~solo_budget
+    ~check_solo] explores from each initial input vector in turn and stops
+    at the first violation. *)
+val check_consensus :
+  's Protocol.t ->
+  inputs_list:Value.t array list ->
+  max_configs:int ->
+  max_depth:int ->
+  solo_budget:int ->
+  check_solo:bool ->
+  result
+
+(** [check_set_agreement ~k proto ...] is {!check_consensus} with agreement
+    relaxed to k-set agreement: a configuration with more than [k] distinct
+    decided values is an [Agreement_violation].  [check_consensus] is the
+    [k = 1] case. *)
+val check_set_agreement :
+  k:int ->
+  's Protocol.t ->
+  inputs_list:Value.t array list ->
+  max_configs:int ->
+  max_depth:int ->
+  solo_budget:int ->
+  check_solo:bool ->
+  result
+
+(** All 2^n binary input vectors for [n] processes. *)
+val binary_inputs : int -> Value.t array list
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/core/covering.ml: Config Execution List Option Pset Ts_model

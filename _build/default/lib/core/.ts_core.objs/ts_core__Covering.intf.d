@@ -1,0 +1,1 @@
+lib/core/covering.mli: Action Config Execution Protocol Pset Ts_model

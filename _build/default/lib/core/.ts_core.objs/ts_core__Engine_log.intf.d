@@ -1,0 +1,1 @@
+lib/core/engine_log.mli: Logs

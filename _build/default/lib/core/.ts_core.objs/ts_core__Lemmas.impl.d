@@ -1,0 +1,1 @@
+lib/core/lemmas.ml: Action Config Covering Dump Engine_log Execution Fmt Format List Pset Ts_model Valency Value

@@ -1,0 +1,1 @@
+lib/core/lemmas.mli: Action Config Execution Pset Ts_model Valency Value

@@ -1,0 +1,1 @@
+lib/core/theorem.ml: Action Array Config Covering Engine_log Execution Fmt Format Lemmas List Printexc Printf Protocol Pset Ts_model Valency Value

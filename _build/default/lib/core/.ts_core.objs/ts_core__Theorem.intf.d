@@ -1,0 +1,1 @@
+lib/core/theorem.mli: Action Config Execution Format Protocol Pset Ts_model Valency Value

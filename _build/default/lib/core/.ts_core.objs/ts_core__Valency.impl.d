@@ -1,0 +1,1 @@
+lib/core/valency.ml: Action Config Execution Hashtbl List Protocol Pset Queue Ts_model Value

@@ -1,0 +1,1 @@
+lib/core/valency.mli: Config Execution Protocol Pset Ts_model Value

@@ -1,0 +1,1 @@
+lib/core/valgraph.ml: Action Buffer Config Hashtbl List Printf Protocol Queue String Ts_model Valency Value

@@ -1,0 +1,1 @@
+lib/core/valgraph.mli: Pset Ts_model Valency Value

@@ -1,0 +1,17 @@
+let zhu_space n = n - 1
+let fhs_space n = int_of_float (ceil (sqrt (float_of_int n)))
+let known_upper_space n = n
+let jtt_space n = n - 1
+
+let log2 x = log x /. log 2.
+
+let fan_lynch_cost n =
+  let n = float_of_int n in
+  n *. log2 n
+
+let log2_factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc +. log2 (float_of_int k)) (k - 1) in
+  go 0. n
+
+let leader_election_space n = int_of_float (ceil (log2 (float_of_int (max 2 n)))) + 1
+let attiya_censor_steps n = n * n

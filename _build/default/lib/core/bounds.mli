@@ -1,0 +1,33 @@
+(** The bound curves the experiment tables compare against.
+
+    Each function gives, for a system of [n] processes, the value a cited
+    theorem proves; the benches print them next to measured quantities. *)
+
+(** Zhu (this paper): registers used by any nondeterministic solo
+    terminating binary consensus protocol, [n - 1]. *)
+val zhu_space : int -> int
+
+(** Fich–Herlihy–Shavit 1993/98: the previous lower bound, [ceil(sqrt n)]. *)
+val fhs_space : int -> int
+
+(** Best known upper bounds ([Zhu15] anonymous memoryless protocol): [n]. *)
+val known_upper_space : int -> int
+
+(** Jayanti–Tan–Toueg: space (and deterministic solo time) for perturbable
+    objects, [n - 1]. *)
+val jtt_space : int -> int
+
+(** Fan–Lynch: total state-change cost of [n] critical-section entries,
+    [Omega(n log n)]; we print [n * log2 n]. *)
+val fan_lynch_cost : int -> float
+
+(** Bits needed to name a permutation of [n]: [log2 (n!)]. *)
+val log2_factorial : int -> float
+
+(** Gelashvili/GHHW leader election: [O(log n)] registers; we print
+    [ceil(log2 n) + 1] as the cited upper-bound curve. *)
+val leader_election_space : int -> int
+
+(** Attiya–Censor 2008: total step complexity of randomized consensus is
+    [Theta(n^2)]; we print [n^2]. *)
+val attiya_censor_steps : int -> int

@@ -1,0 +1,3 @@
+let src = Logs.Src.create "tightspace.core" ~doc:"Zhu lower-bound engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)

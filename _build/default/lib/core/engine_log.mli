@@ -1,0 +1,13 @@
+(** The engine's log source.
+
+    The adversary constructions are search procedures; when a horizon is
+    too small it helps to see how far they got.  Enable with:
+
+    {[
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level Engine_log.src (Some Logs.Debug)
+    ]} *)
+
+val src : Logs.src
+
+module Log : Logs.LOG

@@ -1,0 +1,64 @@
+(** Zhu's Lemma 4 and Theorem 1, as witness-producing constructions.
+
+    {!lemma4} builds, for a bivalent set [P], an execution leading to a
+    "nice" configuration: a pair of processes still bivalent while the
+    other [|P| - 2] processes cover pairwise distinct registers.
+    {!theorem1} composes it with Lemmas 2 and 3 into a complete execution
+    of the protocol under test in which at least [n - 1] distinct registers
+    are written — the executable content of the n−1 space lower bound.
+
+    All intermediate facts are re-verified; the final certificate is
+    additionally checked by replaying the execution from the initial
+    configuration and counting written registers directly on the trace. *)
+
+open Ts_model
+
+(** A "nice" configuration reached from some base configuration. *)
+type 's nice = {
+  alpha : Execution.event list;  (** the P-only execution from the base *)
+  cfg : 's Config.t;  (** the configuration [C·alpha] *)
+  q_pair : Pset.t;  (** two processes, bivalent from [cfg] *)
+  cover : Pset.t;  (** [P − q_pair], covering distinct registers in [cfg] *)
+}
+
+(** [lemma4 t c p] — Zhu's Lemma 4 by induction on [|p|], including the
+    pigeonhole argument over covered register sets and the hidden-write
+    insertion of the process removed by Lemma 1.  Requires [|p| >= 2] and
+    [p] bivalent from [c] (checked). *)
+val lemma4 : 's Valency.t -> 's Config.t -> Pset.t -> 's nice
+
+(** Everything {!theorem1} established, with the raw material to audit it. *)
+type certificate = {
+  protocol_name : string;
+  n : int;  (** number of processes *)
+  inputs : Value.t array;  (** the bivalent initial assignment used *)
+  schedule : Execution.event list;  (** full witness schedule from the initial configuration *)
+  trace : Execution.trace;  (** its trace *)
+  registers_written : Action.reg list;  (** distinct registers written in [trace] *)
+  covered_registers : Action.reg list;  (** the distinct registers covered at the final nice configuration *)
+  fresh_register : Action.reg;  (** the uncovered register the Lemma-2 process was forced to write *)
+  oracle_searches : int;  (** valency searches spent *)
+}
+
+(** [theorem1 t] runs the whole construction from the canonical bivalent
+    initial configuration (p0 has input 0, p1 input 1, the rest 0) and
+    returns a certificate with
+    [List.length registers_written >= n - 1].
+    @raise Valency.Horizon_exceeded if the oracle horizon is too small.
+    @raise Invalid_argument if the protocol has fewer than 2 processes. *)
+val theorem1 : 's Valency.t -> certificate
+
+(** [theorem1_auto proto ~initial_horizon ~max_horizon] runs {!theorem1}
+    with iterative deepening: on [Horizon_exceeded] the horizon doubles (a
+    fresh oracle each time) until the construction succeeds or
+    [max_horizon] is passed.  Returns the certificate and the horizon that
+    sufficed. *)
+val theorem1_auto :
+  's Protocol.t -> initial_horizon:int -> max_horizon:int -> certificate * int
+
+(** [verify cert proto] independently replays the certificate's schedule on
+    a fresh initial configuration of [proto] and re-checks the register
+    count.  Returns an error message on any mismatch. *)
+val verify : certificate -> 's Protocol.t -> (unit, string) result
+
+val pp_certificate : Format.formatter -> certificate -> unit

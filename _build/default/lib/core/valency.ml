@@ -1,0 +1,91 @@
+open Ts_model
+
+exception Horizon_exceeded of string
+
+type 's t = {
+  proto : 's Protocol.t;
+  horizon : int;
+  memo : ('s Config.t * int * int, Execution.event list option) Hashtbl.t;
+  mutable searches : int;
+}
+
+let create proto ~horizon = { proto; horizon; memo = Hashtbl.create 4096; searches = 0 }
+let protocol t = t.proto
+let horizon t = t.horizon
+let searches t = t.searches
+
+let zero = Value.int 0
+let one = Value.int 1
+
+let decided_here cfg v = List.exists (Value.equal v) (Config.decided_values cfg)
+
+(* Breadth-first search for a P-only execution from [cfg] deciding [v].
+   BFS visits every configuration at its shortest P-only distance, so
+   together with the visited table the search is *complete* for executions
+   of length <= horizon, and the returned witness is one of minimal
+   length.  Negative answers still only mean "not within horizon". *)
+let search t cfg ps v =
+  t.searches <- t.searches + 1;
+  let visited = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  Queue.add (cfg, [], 0) q;
+  Hashtbl.replace visited cfg ();
+  let result = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       let cfg, rev_sched, depth = Queue.pop q in
+       if decided_here cfg v then begin
+         result := Some (List.rev rev_sched);
+         raise Exit
+       end;
+       if depth < t.horizon then
+         Pset.iter
+           (fun p ->
+             let push coin =
+               let cfg', _ = Config.step t.proto cfg p ~coin in
+               if not (Hashtbl.mem visited cfg') then begin
+                 Hashtbl.replace visited cfg' ();
+                 Queue.add (cfg', { Execution.pid = p; coin } :: rev_sched, depth + 1) q
+               end
+             in
+             match Config.poised t.proto cfg p with
+             | None -> ()
+             | Some Action.Flip ->
+               push (Some true);
+               push (Some false)
+             | Some _ -> push None)
+           ps
+     done
+   with Exit -> ());
+  !result
+
+let can_decide t cfg ps v =
+  let key = cfg, Pset.to_mask ps, Value.to_int v in
+  match Hashtbl.find_opt t.memo key with
+  | Some r -> r
+  | None ->
+    let r = search t cfg ps v in
+    Hashtbl.replace t.memo key r;
+    r
+
+type verdict =
+  | Bivalent of Execution.event list * Execution.event list
+  | Univalent of Value.t * Execution.event list
+  | Blocked
+
+let classify t cfg ps =
+  match can_decide t cfg ps zero, can_decide t cfg ps one with
+  | Some w0, Some w1 -> Bivalent (w0, w1)
+  | Some w0, None -> Univalent (zero, w0)
+  | None, Some w1 -> Univalent (one, w1)
+  | None, None -> Blocked
+
+let is_bivalent t cfg ps =
+  match classify t cfg ps with
+  | Bivalent _ -> true
+  | Univalent _ | Blocked -> false
+
+let univalent_value t cfg ps =
+  match classify t cfg ps with
+  | Univalent (v, _) -> Some v
+  | Bivalent _ | Blocked -> None

@@ -1,0 +1,34 @@
+(** Valency-annotated configuration graphs, exported as Graphviz DOT.
+
+    The FLP/Zhu arguments are usually drawn as pictures of configuration
+    graphs with bivalent and univalent regions; this module generates those
+    pictures from real protocols.  Nodes are configurations reachable
+    within a step bound, classified by the {!Valency} oracle for a chosen
+    process set; edges are single steps labelled by the acting process.
+
+    Intended for small instances (the n = 2 racing protocol up to depth
+    6-8 is already instructive); the node budget is a hard cap. *)
+
+open Ts_model
+
+type stats = {
+  nodes : int;
+  edges : int;
+  bivalent : int;
+  univalent0 : int;
+  univalent1 : int;
+  blocked : int;
+}
+
+(** [dot t ~inputs ~pset ~depth ~max_nodes] explores the full interleaving
+    graph from the initial configuration with [inputs] up to [depth] steps
+    (capped at [max_nodes] nodes), classifies every node's valency for
+    [pset], and returns the DOT source plus counts.  Bivalent nodes are
+    drawn as ellipses, v-univalent nodes as boxes labelled with v. *)
+val dot :
+  's Valency.t ->
+  inputs:Value.t array ->
+  pset:Pset.t ->
+  depth:int ->
+  max_nodes:int ->
+  string * stats

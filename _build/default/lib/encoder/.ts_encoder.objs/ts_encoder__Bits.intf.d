@@ -1,0 +1,1 @@
+lib/encoder/bits.mli:

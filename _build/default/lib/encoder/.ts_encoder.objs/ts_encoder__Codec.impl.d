@@ -1,0 +1,1 @@
+lib/encoder/codec.ml: Algorithm Arena Bits Fun List Printexc Ts_mutex

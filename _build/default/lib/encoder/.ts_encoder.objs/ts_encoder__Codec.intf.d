@@ -1,0 +1,1 @@
+lib/encoder/codec.mli: Algorithm Arena Ts_mutex

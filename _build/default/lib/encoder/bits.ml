@@ -1,0 +1,63 @@
+type writer = {
+  buf : Buffer.t;
+  mutable cur : int;  (* byte under construction *)
+  mutable used : int;  (* bits used in [cur] *)
+  mutable total : int;
+}
+
+type reader = {
+  data : string;
+  bits : int;
+  mutable pos : int;
+}
+
+let writer () = { buf = Buffer.create 64; cur = 0; used = 0; total = 0 }
+let bit_length w = w.total
+
+let write_bit w b =
+  w.cur <- (w.cur lsl 1) lor (if b then 1 else 0);
+  w.used <- w.used + 1;
+  w.total <- w.total + 1;
+  if w.used = 8 then begin
+    Buffer.add_char w.buf (Char.chr w.cur);
+    w.cur <- 0;
+    w.used <- 0
+  end
+
+let write_gamma w k =
+  if k <= 0 then invalid_arg "Bits.write_gamma: k must be positive";
+  (* k = 1b_{m-1}...b_0 in binary: m zeros, then the m+1 significant bits *)
+  let m =
+    let rec go m v = if v <= 1 then m else go (m + 1) (v lsr 1) in
+    go 0 k
+  in
+  for _ = 1 to m do
+    write_bit w false
+  done;
+  for i = m downto 0 do
+    write_bit w (k land (1 lsl i) <> 0)
+  done
+
+let contents w =
+  let pad = if w.used = 0 then 0 else 8 - w.used in
+  let cur = w.cur lsl pad in
+  let s = Buffer.contents w.buf in
+  let s = if w.used = 0 then s else s ^ String.make 1 (Char.chr (cur land 0xff)) in
+  s, w.total
+
+let reader (data, bits) = { data; bits; pos = 0 }
+
+let read_bit r =
+  if r.pos >= r.bits then invalid_arg "Bits.read_bit: past end of stream";
+  let byte = Char.code r.data.[r.pos / 8] in
+  let bit = byte land (1 lsl (7 - (r.pos mod 8))) <> 0 in
+  r.pos <- r.pos + 1;
+  bit
+
+let read_gamma r =
+  let rec zeros m = if read_bit r then m else zeros (m + 1) in
+  let m = zeros 0 in
+  let rec value acc i = if i = 0 then acc else value ((acc lsl 1) lor (if read_bit r then 1 else 0)) (i - 1) in
+  value 1 m
+
+let remaining r = r.bits - r.pos

@@ -1,0 +1,32 @@
+(** Packed bit streams with Elias-gamma integer coding.
+
+    The Fan–Lynch argument is about the exact number of bits a canonical
+    execution's schedule costs to describe, so the encoder writes real
+    packed bits (not characters) and the decoder consumes them back. *)
+
+type writer
+type reader
+
+val writer : unit -> writer
+
+(** Number of bits written so far. *)
+val bit_length : writer -> int
+
+val write_bit : writer -> bool -> unit
+
+(** [write_gamma w k] writes positive [k] in Elias-gamma: [2*floor(log2 k) + 1] bits.
+    @raise Invalid_argument if [k <= 0]. *)
+val write_gamma : writer -> int -> unit
+
+(** Freeze the stream.  The pair is (packed bytes, exact bit count). *)
+val contents : writer -> string * int
+
+val reader : string * int -> reader
+
+(** @raise Invalid_argument when reading past the end. *)
+val read_bit : reader -> bool
+
+val read_gamma : reader -> int
+
+(** Bits remaining to be read. *)
+val remaining : reader -> int

@@ -1,0 +1,1 @@
+lib/leader/election.ml: Fmt List Printf Ts_model Ts_objects Value

@@ -1,0 +1,1 @@
+lib/leader/election.mli: Ts_objects

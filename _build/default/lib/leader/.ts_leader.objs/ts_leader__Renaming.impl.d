@@ -1,0 +1,1 @@
+lib/leader/renaming.ml: Fmt Printf Ts_model Ts_objects Value

@@ -1,0 +1,1 @@
+lib/leader/renaming.mli: Ts_objects

@@ -1,0 +1,1 @@
+lib/leader/splitter.ml: Fmt Ts_model Ts_objects Value

@@ -1,0 +1,1 @@
+lib/leader/splitter.mli: Ts_model Ts_objects Value

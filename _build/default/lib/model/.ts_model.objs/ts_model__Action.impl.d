@@ -1,0 +1,1 @@
+lib/model/action.ml: Fmt Value

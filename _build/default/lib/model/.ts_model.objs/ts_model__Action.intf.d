@@ -1,0 +1,1 @@
+lib/model/action.mli: Format Value

@@ -1,0 +1,1 @@
+lib/model/config.ml: Action Array Fmt Hashtbl List Option Protocol Pset Stdlib Value

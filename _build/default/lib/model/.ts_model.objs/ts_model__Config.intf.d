@@ -1,0 +1,1 @@
+lib/model/config.mli: Action Format Protocol Pset Value

@@ -1,0 +1,1 @@
+lib/model/diagram.ml: Action Array Buffer Execution Format Printf String

@@ -1,0 +1,1 @@
+lib/model/diagram.mli: Execution Format

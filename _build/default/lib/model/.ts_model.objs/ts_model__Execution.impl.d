@@ -1,0 +1,1 @@
+lib/model/execution.ml: Action Config Fmt List Pset Stdlib

@@ -1,0 +1,1 @@
+lib/model/execution.mli: Action Config Format Protocol Pset Value

@@ -1,0 +1,1 @@
+lib/model/protocol.ml: Action Format Value

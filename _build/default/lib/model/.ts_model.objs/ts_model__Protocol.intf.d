@@ -1,0 +1,1 @@
+lib/model/protocol.mli: Action Format Value

@@ -1,0 +1,1 @@
+lib/model/pset.mli: Format

@@ -1,0 +1,1 @@
+lib/model/rng.ml: Array Fun Int64

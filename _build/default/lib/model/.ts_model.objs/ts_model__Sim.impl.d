@@ -1,0 +1,1 @@
+lib/model/sim.ml: Action Array Config Execution Fun List Option Protocol Rng Value

@@ -1,0 +1,1 @@
+lib/model/sim.mli: Config Execution Protocol Rng Value

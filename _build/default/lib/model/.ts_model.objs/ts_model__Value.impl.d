@@ -1,0 +1,1 @@
+lib/model/value.ml: Fmt Format Hashtbl List Stdlib

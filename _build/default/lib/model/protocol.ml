@@ -1,0 +1,25 @@
+type pid = int
+
+type 's t = {
+  name : string;
+  description : string;
+  num_processes : int;
+  num_registers : int;
+  init : pid:pid -> input:Value.t -> 's;
+  poised : 's -> Action.t;
+  on_read : 's -> Value.t -> 's;
+  on_write : 's -> 's;
+  on_swap : 's -> Value.t -> 's;
+  on_flip : 's -> bool -> 's;
+  pp_state : Format.formatter -> 's -> unit;
+}
+
+type packed = Packed : 's t -> packed
+
+let name_of_packed (Packed p) = p.name
+
+let no_flip _ _ =
+  invalid_arg "Protocol.no_flip: deterministic protocol asked to flip a coin"
+
+let no_swap _ _ =
+  invalid_arg "Protocol.no_swap: read/write protocol asked to swap"

@@ -1,0 +1,55 @@
+type t = int
+type pid = int
+
+let check p =
+  if p < 0 || p > 62 then invalid_arg "Pset: pid out of [0,62]"
+
+let empty = 0
+let is_empty s = s = 0
+let singleton p = check p; 1 lsl p
+let add p s = check p; s lor (1 lsl p)
+let remove p s = check p; s land lnot (1 lsl p)
+let mem p s = p >= 0 && p <= 62 && s land (1 lsl p) <> 0
+
+let cardinal s =
+  let rec go acc s = if s = 0 then acc else go (acc + (s land 1)) (s lsr 1) in
+  go 0 s
+
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let equal (a : int) b = a = b
+let compare (a : int) b = Stdlib.compare a b
+let of_list ps = List.fold_left (fun s p -> add p s) empty ps
+
+let fold f s init =
+  let rec go p s acc =
+    if s = 0 then acc
+    else if s land 1 <> 0 then go (p + 1) (s lsr 1) (f p acc)
+    else go (p + 1) (s lsr 1) acc
+  in
+  go 0 s init
+
+let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
+
+let range lo hi =
+  let rec go p acc = if p > hi then acc else go (p + 1) (add p acc) in
+  if lo > hi then empty else go lo empty
+
+let all n = range 0 (n - 1)
+let iter f s = fold (fun p () -> f p) s ()
+let for_all f s = fold (fun p acc -> acc && f p) s true
+let exists f s = fold (fun p acc -> acc || f p) s false
+let filter f s = fold (fun p acc -> if f p then add p acc else acc) s empty
+
+let choose s =
+  if s = 0 then invalid_arg "Pset.choose: empty set"
+  else
+    let rec go p = if s land (1 lsl p) <> 0 then p else go (p + 1) in
+    go 0
+
+let to_mask s = s
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") (fmt "p%d")) (to_list s)

@@ -1,0 +1,47 @@
+(** Finite sets of process identifiers.
+
+    The refined valency of Zhu's Definition 1 is attached to a *set of
+    processes* in a configuration, so process sets appear in every engine
+    signature.  Sets are represented as bit masks; process ids must lie in
+    [0, 62]. *)
+
+type t
+(** An immutable set of process ids. *)
+
+type pid = int
+
+val empty : t
+val is_empty : t -> bool
+val singleton : pid -> t
+val add : pid -> t -> t
+val remove : pid -> t -> t
+val mem : pid -> t -> bool
+val cardinal : t -> int
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val of_list : pid list -> t
+val to_list : t -> pid list
+
+(** [range lo hi] is the set [{lo, ..., hi}] ([empty] if [lo > hi]). *)
+val range : pid -> pid -> t
+
+(** [all n] is the full set [{0, ..., n-1}]. *)
+val all : int -> t
+
+val iter : (pid -> unit) -> t -> unit
+val fold : (pid -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (pid -> bool) -> t -> bool
+val exists : (pid -> bool) -> t -> bool
+val filter : (pid -> bool) -> t -> t
+
+(** [choose s] is the smallest element. @raise Invalid_argument on [empty]. *)
+val choose : t -> pid
+
+(** [to_mask s] exposes the underlying bit mask (used as a hash key). *)
+val to_mask : t -> int
+
+val pp : Format.formatter -> t -> unit

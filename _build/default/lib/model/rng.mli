@@ -1,0 +1,25 @@
+(** A small deterministic PRNG (splitmix64).
+
+    Experiments must be reproducible from a printed seed, so nothing in the
+    library uses global randomness; every randomized component takes an
+    explicit [Rng.t]. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+val bits64 : t -> int64
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [permutation t n] is a uniform permutation of [0..n-1]. *)
+val permutation : t -> int -> int array

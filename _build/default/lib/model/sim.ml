@@ -1,0 +1,78 @@
+type pid = int
+
+type policy =
+  | Round_robin
+  | Random of Rng.t
+  | Solo of pid
+  | Alternating of pid * pid
+
+type 's outcome = {
+  final : 's Config.t;
+  decisions : (pid * Value.t) list;
+  steps : int;
+  trace : Execution.trace;
+  ran_out : bool;
+}
+
+let undecided proto cfg =
+  let n = proto.Protocol.num_processes in
+  let rec go p acc = if p < 0 then acc else
+      go (p - 1) (if Config.has_decided cfg p = None then p :: acc else acc)
+  in
+  go (n - 1) []
+
+let relevant_done proto cfg policy =
+  match policy with
+  | Round_robin | Random _ -> undecided proto cfg = []
+  | Solo p -> Config.has_decided cfg p <> None
+  | Alternating (p, q) ->
+    Config.has_decided cfg p <> None && Config.has_decided cfg q <> None
+
+let pick proto cfg policy tick =
+  let alive = undecided proto cfg in
+  match policy with
+  | Round_robin ->
+    let n = proto.Protocol.num_processes in
+    let rec find k =
+      let p = (tick + k) mod n in
+      if Config.has_decided cfg p = None then p else find (k + 1)
+    in
+    find 0
+  | Random rng -> List.nth alive (Rng.int rng (List.length alive))
+  | Solo p -> p
+  | Alternating (p, q) ->
+    let cands = List.filter (fun x -> Config.has_decided cfg x = None) [ p; q ] in
+    (match cands with
+     | [ x ] -> x
+     | [ x; y ] -> if tick mod 2 = 0 then x else y
+     | _ -> invalid_arg "Sim.run: alternating processes already decided")
+
+let run proto ~inputs ~policy ~flips ~budget =
+  let cfg0 = Config.initial proto ~inputs in
+  let rec go cfg acc steps =
+    if relevant_done proto cfg policy then cfg, acc, steps, false
+    else if steps >= budget then cfg, acc, steps, true
+    else
+      let p = pick proto cfg policy steps in
+      let coin =
+        match Config.poised proto cfg p with
+        | Some Action.Flip -> Some (flips ())
+        | _ -> None
+      in
+      let cfg', action = Config.step proto cfg p ~coin in
+      go cfg' ({ Execution.actor = p; action; coin_used = coin } :: acc) (steps + 1)
+  in
+  let final, rev_trace, steps, ran_out = go cfg0 [] 0 in
+  let decisions =
+    List.init proto.Protocol.num_processes (fun p ->
+        Option.map (fun v -> p, v) (Config.has_decided final p))
+    |> List.filter_map Fun.id
+  in
+  { final; decisions; steps; trace = List.rev rev_trace; ran_out }
+
+let agreement outcome =
+  match List.sort_uniq Value.compare (List.map snd outcome.decisions) with
+  | [ v ] -> Ok v
+  | vs -> Error vs
+
+let valid ~inputs v = Array.exists (Value.equal v) inputs

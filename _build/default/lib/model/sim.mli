@@ -1,0 +1,41 @@
+(** Whole-system simulation drivers.
+
+    These are the workload generators for the upper-bound experiments: they
+    run a protocol instance to completion under a scheduling policy and
+    report what happened (decisions, steps, registers touched). *)
+
+type pid = int
+
+type policy =
+  | Round_robin  (** p0 p1 ... pn-1 p0 p1 ... skipping decided processes *)
+  | Random of Rng.t  (** uniformly random undecided process each step *)
+  | Solo of pid  (** only [pid] takes steps (obstruction-free run) *)
+  | Alternating of pid * pid  (** two processes in lockstep *)
+
+type 's outcome = {
+  final : 's Config.t;  (** configuration when the run stopped *)
+  decisions : (pid * Value.t) list;  (** decisions reached, by process *)
+  steps : int;  (** total steps taken *)
+  trace : Execution.trace;
+  ran_out : bool;  (** true if the step budget was exhausted first *)
+}
+
+(** [run proto ~inputs ~policy ~flips ~budget] drives the system until every
+    *relevant* process has decided (all of them for [Round_robin]/[Random],
+    the named ones for [Solo]/[Alternating]) or [budget] steps have been
+    taken.  Coin flips are resolved by [flips]. *)
+val run :
+  's Protocol.t ->
+  inputs:Value.t array ->
+  policy:policy ->
+  flips:(unit -> bool) ->
+  budget:int ->
+  's outcome
+
+(** [agreement outcome] is [Ok v] if at least one process decided and all
+    decisions agree on [v]; [Error vs] otherwise with the distinct decided
+    values. *)
+val agreement : 's outcome -> (Value.t, Value.t list) result
+
+(** [valid ~inputs v] holds iff [v] is one of the inputs. *)
+val valid : inputs:Value.t array -> Value.t -> bool

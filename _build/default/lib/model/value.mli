@@ -1,0 +1,40 @@
+(** Register values.
+
+    Zhu's lower bound holds even for registers of unbounded size, so the
+    model places no restriction on what a register may hold.  Values are a
+    small algebraic universe that is closed under pairing and listing, which
+    is enough to encode the states any of the shipped protocols wants to
+    communicate (preferences, rounds, sequence numbers, embedded views). *)
+
+type t =
+  | Bot  (** the initial "blank" content of every register *)
+  | Int of int
+  | Bool of bool
+  | Pair of t * t
+  | List of t list
+
+val bot : t
+val int : int -> t
+val bool : bool -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [to_int v] projects an [Int] payload. @raise Invalid_argument otherwise *)
+val to_int : t -> int
+
+(** [to_bool v] projects a [Bool] payload. @raise Invalid_argument otherwise *)
+val to_bool : t -> bool
+
+(** [to_pair v] projects a [Pair] payload. @raise Invalid_argument otherwise *)
+val to_pair : t -> t * t
+
+(** [to_list v] projects a [List] payload. @raise Invalid_argument otherwise *)
+val to_list : t -> t list
+
+val is_bot : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/mutex/algorithm.ml: Action Ts_model Value

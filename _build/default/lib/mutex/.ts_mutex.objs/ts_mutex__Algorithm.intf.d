@@ -1,0 +1,1 @@
+lib/mutex/algorithm.mli: Action Ts_model Value

@@ -1,0 +1,1 @@
+lib/mutex/arena.ml: Algorithm Array List Ts_model Value

@@ -1,0 +1,1 @@
+lib/mutex/arena.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/mutex/bakery.ml: Algorithm Printf Ts_model Value

@@ -1,0 +1,1 @@
+lib/mutex/bakery.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/mutex/covering_search.ml: Algorithm Array Fmt Hashtbl List Queue Ts_model Value

@@ -1,0 +1,1 @@
+lib/mutex/covering_search.mli: Algorithm Format

@@ -1,0 +1,1 @@
+lib/mutex/peterson.ml: Algorithm Printf Ts_model Value

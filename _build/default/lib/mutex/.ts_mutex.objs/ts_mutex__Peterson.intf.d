@@ -1,0 +1,1 @@
+lib/mutex/peterson.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/mutex/tas_lock.ml: Algorithm Printf Ts_model Value

@@ -1,0 +1,1 @@
+lib/mutex/tas_lock.mli: Algorithm

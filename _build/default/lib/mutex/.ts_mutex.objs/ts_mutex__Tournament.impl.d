@@ -1,0 +1,1 @@
+lib/mutex/tournament.ml: Algorithm List Printf Ts_model Value

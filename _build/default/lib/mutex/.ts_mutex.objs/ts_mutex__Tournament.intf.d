@@ -1,0 +1,1 @@
+lib/mutex/tournament.mli: Algorithm

@@ -1,0 +1,28 @@
+open Ts_model
+
+type step =
+  | Read of Action.reg
+  | Write of Action.reg * Value.t
+  | Swap of Action.reg * Value.t
+  | Enter_cs
+  | Exit_cs
+  | Done
+
+type 's t = {
+  name : string;
+  description : string;
+  num_processes : int;
+  num_registers : int;
+  uses_swap : bool;
+  start : pid:int -> 's;
+  poised : 's -> step;
+  on_read : 's -> Value.t -> 's;
+  on_write : 's -> 's;
+  on_swap : 's -> Value.t -> 's;
+  on_enter : 's -> 's;
+  on_exit : 's -> 's;
+}
+
+type packed = Packed : 's t -> packed
+
+let no_swap _ _ = invalid_arg "Algorithm.no_swap: register-only algorithm swapped"

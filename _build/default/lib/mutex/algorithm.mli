@@ -1,0 +1,42 @@
+(** Mutual-exclusion algorithms as state machines.
+
+    A process cycles through remainder → trying section → critical section
+    → exit section → remainder.  Shared steps are reads and writes of
+    registers, plus [Swap] so that one algorithm (the test-and-set lock)
+    can demonstrate what a *historyless but stronger-than-register*
+    primitive buys — the contrast drawn in the paper's conclusion (§4) and
+    in the Fan–Lynch model, whose bound is for registers.
+
+    The scheduler (in {!Arena}) decides when a process poised at
+    [Enter_cs] actually enters and when a process in the critical section
+    leaves; algorithms never busy-wait inside the critical section. *)
+
+open Ts_model
+
+type step =
+  | Read of Action.reg
+  | Write of Action.reg * Value.t
+  | Swap of Action.reg * Value.t  (** atomically write, returning the old value *)
+  | Enter_cs  (** poised to enter the critical section *)
+  | Exit_cs  (** inside the critical section, poised to start the exit code *)
+  | Done  (** back in the remainder section *)
+
+type 's t = {
+  name : string;
+  description : string;
+  num_processes : int;
+  num_registers : int;
+  uses_swap : bool;  (** true iff some step is a [Swap] (stronger primitive) *)
+  start : pid:int -> 's;  (** state at the top of the trying section *)
+  poised : 's -> step;
+  on_read : 's -> Value.t -> 's;
+  on_write : 's -> 's;
+  on_swap : 's -> Value.t -> 's;  (** receives the swapped-out old value *)
+  on_enter : 's -> 's;  (** the [Enter_cs] step was granted *)
+  on_exit : 's -> 's;  (** the [Exit_cs] step was taken; exit code begins *)
+}
+
+type packed = Packed : 's t -> packed
+
+val no_swap : 's -> Value.t -> 's
+(** [on_swap] for register-only algorithms; raises if invoked. *)

@@ -1,0 +1,91 @@
+open Ts_model
+
+let choosing_reg ~n:_ i = i
+let ticket_reg ~n i = n + i
+
+type phase =
+  | Set_choosing
+  | Scan_tickets of { j : int; best : int }
+  | Set_ticket of int
+  | Clear_choosing
+  | Wait_choosing of int  (* waiting for choosing[j] = 0 *)
+  | Wait_ticket of int  (* waiting for ticket[j] to release us *)
+  | At_cs
+  | In_cs
+  | Reset_ticket
+  | Finished
+
+type state = {
+  me : int;
+  n : int;
+  ticket : int;  (* our ticket once drawn *)
+  phase : phase;
+}
+
+let nat_of = function Value.Bot -> 0 | v -> Value.to_int v
+
+(* The next process to wait on, skipping ourselves; [n] means done. *)
+let next_j me j = if j + 1 = me then j + 2 else j + 1
+
+let first_j me n = if me = 0 then (if n > 1 then 1 else n) else 0
+
+let make ~n : state Algorithm.t =
+  if n < 1 then invalid_arg "Bakery.make: n >= 1";
+  {
+    name = Printf.sprintf "bakery-%d" n;
+    description = "Lamport's bakery: FCFS mutex from unbounded registers";
+    num_processes = n;
+    num_registers = 2 * n;
+    uses_swap = false;
+    start = (fun ~pid -> { me = pid; n; ticket = 0; phase = Set_choosing });
+    poised =
+      (fun st ->
+        match st.phase with
+        | Set_choosing -> Algorithm.Write (choosing_reg ~n st.me, Value.int 1)
+        | Scan_tickets { j; _ } -> Algorithm.Read (ticket_reg ~n j)
+        | Set_ticket t -> Algorithm.Write (ticket_reg ~n st.me, Value.int t)
+        | Clear_choosing -> Algorithm.Write (choosing_reg ~n st.me, Value.int 0)
+        | Wait_choosing j -> Algorithm.Read (choosing_reg ~n j)
+        | Wait_ticket j -> Algorithm.Read (ticket_reg ~n j)
+        | At_cs -> Algorithm.Enter_cs
+        | In_cs -> Algorithm.Exit_cs
+        | Reset_ticket -> Algorithm.Write (ticket_reg ~n st.me, Value.int 0)
+        | Finished -> Algorithm.Done);
+    on_read =
+      (fun st v ->
+        match st.phase with
+        | Scan_tickets { j; best } ->
+          let best = max best (nat_of v) in
+          if j = st.n - 1 then { st with phase = Set_ticket (best + 1); ticket = best + 1 }
+          else { st with phase = Scan_tickets { j = j + 1; best } }
+        | Wait_choosing j ->
+          if nat_of v = 0 then { st with phase = Wait_ticket j } else st
+        | Wait_ticket j ->
+          let t_j = nat_of v in
+          if t_j = 0 || t_j > st.ticket || (t_j = st.ticket && j > st.me) then begin
+            let j' = next_j st.me j in
+            if j' >= st.n then { st with phase = At_cs }
+            else { st with phase = Wait_choosing j' }
+          end
+          else st
+        | Set_choosing | Set_ticket _ | Clear_choosing | At_cs | In_cs | Reset_ticket
+        | Finished ->
+          invalid_arg "Bakery.on_read");
+    on_write =
+      (fun st ->
+        match st.phase with
+        | Set_choosing -> { st with phase = Scan_tickets { j = 0; best = 0 } }
+        | Set_ticket _ -> { st with phase = Clear_choosing }
+        | Clear_choosing ->
+          let j = first_j st.me st.n in
+          if j >= st.n then { st with phase = At_cs }
+          else { st with phase = Wait_choosing j }
+        | Reset_ticket -> { st with phase = Finished }
+        | Scan_tickets _ | Wait_choosing _ | Wait_ticket _ | At_cs | In_cs | Finished ->
+          invalid_arg "Bakery.on_write");
+    on_swap = Algorithm.no_swap;
+    on_enter =
+      (fun st -> match st.phase with At_cs -> { st with phase = In_cs } | _ -> invalid_arg "Bakery.on_enter");
+    on_exit =
+      (fun st -> match st.phase with In_cs -> { st with phase = Reset_ticket } | _ -> invalid_arg "Bakery.on_exit");
+  }

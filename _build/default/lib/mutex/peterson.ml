@@ -1,0 +1,89 @@
+open Ts_model
+
+let level_reg ~n:_ i = i
+let waiting_reg ~n m = n + m
+
+type phase =
+  | Set_level of int
+  | Set_waiting of int
+  | Check_waiting of int
+  | Scan_levels of { m : int; k : int }
+  | At_cs
+  | In_cs
+  | Reset_level
+  | Finished
+
+type state = { me : int; n : int; phase : phase }
+
+let level_of = function Value.Bot -> -1 | v -> Value.to_int v
+
+(* The next process index to scan at a level, skipping ourselves. *)
+let first_other me n = if me = 0 then (if n > 1 then 1 else n) else 0
+
+let next_other me n k =
+  let k = k + 1 in
+  if k = me then k + 1 else if k >= n then n else k
+
+let advance st m =
+  if m >= st.n - 2 then { st with phase = At_cs } else { st with phase = Set_level (m + 1) }
+
+let make ~n : state Algorithm.t =
+  if n < 1 then invalid_arg "Peterson.make: n >= 1";
+  {
+    name = Printf.sprintf "peterson-%d" n;
+    description = "Peterson's n-process filter lock (registers only)";
+    num_processes = n;
+    num_registers = n + max 0 (n - 1);
+    uses_swap = false;
+    start =
+      (fun ~pid ->
+        { me = pid; n; phase = (if n = 1 then At_cs else Set_level 0) });
+    poised =
+      (fun st ->
+        match st.phase with
+        | Set_level m -> Algorithm.Write (level_reg ~n st.me, Value.int m)
+        | Set_waiting m -> Algorithm.Write (waiting_reg ~n m, Value.int st.me)
+        | Check_waiting m -> Algorithm.Read (waiting_reg ~n m)
+        | Scan_levels { k; _ } -> Algorithm.Read (level_reg ~n k)
+        | At_cs -> Algorithm.Enter_cs
+        | In_cs -> Algorithm.Exit_cs
+        | Reset_level -> Algorithm.Write (level_reg ~n st.me, Value.int (-1))
+        | Finished -> Algorithm.Done);
+    on_read =
+      (fun st v ->
+        match st.phase with
+        | Check_waiting m ->
+          if level_of v <> st.me then advance st m
+          else
+            let k = first_other st.me st.n in
+            if k >= st.n then advance st m
+            else { st with phase = Scan_levels { m; k } }
+        | Scan_levels { m; k } ->
+          if level_of v >= m then { st with phase = Check_waiting m }
+          else
+            let k' = next_other st.me st.n k in
+            if k' >= st.n then advance st m
+            else { st with phase = Scan_levels { m; k = k' } }
+        | Set_level _ | Set_waiting _ | At_cs | In_cs | Reset_level | Finished ->
+          invalid_arg "Peterson.on_read")
+      ;
+    on_write =
+      (fun st ->
+        match st.phase with
+        | Set_level m -> { st with phase = Set_waiting m }
+        | Set_waiting m -> { st with phase = Check_waiting m }
+        | Reset_level -> { st with phase = Finished }
+        | Check_waiting _ | Scan_levels _ | At_cs | In_cs | Finished ->
+          invalid_arg "Peterson.on_write");
+    on_swap = Algorithm.no_swap;
+    on_enter =
+      (fun st ->
+        match st.phase with
+        | At_cs -> { st with phase = In_cs }
+        | _ -> invalid_arg "Peterson.on_enter");
+    on_exit =
+      (fun st ->
+        match st.phase with
+        | In_cs -> { st with phase = Reset_level }
+        | _ -> invalid_arg "Peterson.on_exit");
+  }

@@ -1,0 +1,53 @@
+open Ts_model
+
+type phase =
+  | Try_swap
+  | Spin
+  | At_cs
+  | In_cs
+  | Release
+  | Finished
+
+type state = { me : int; phase : phase }
+
+let locked = Value.int 1
+let unlocked = Value.bot
+
+let make ~n : state Algorithm.t =
+  {
+    name = Printf.sprintf "tas-%d" n;
+    description = "test-and-test-and-set lock from one swap register";
+    num_processes = n;
+    num_registers = 1;
+    uses_swap = true;
+    start = (fun ~pid -> { me = pid; phase = Try_swap });
+    poised =
+      (fun st ->
+        match st.phase with
+        | Try_swap -> Algorithm.Swap (0, locked)
+        | Spin -> Algorithm.Read 0
+        | At_cs -> Algorithm.Enter_cs
+        | In_cs -> Algorithm.Exit_cs
+        | Release -> Algorithm.Write (0, unlocked)
+        | Finished -> Algorithm.Done);
+    on_read =
+      (fun st v ->
+        match st.phase with
+        | Spin -> if Value.is_bot v then { st with phase = Try_swap } else st
+        | _ -> invalid_arg "Tas_lock.on_read");
+    on_write =
+      (fun st ->
+        match st.phase with
+        | Release -> { st with phase = Finished }
+        | _ -> invalid_arg "Tas_lock.on_write");
+    on_swap =
+      (fun st old ->
+        match st.phase with
+        | Try_swap ->
+          if Value.is_bot old then { st with phase = At_cs } else { st with phase = Spin }
+        | _ -> invalid_arg "Tas_lock.on_swap");
+    on_enter =
+      (fun st -> match st.phase with At_cs -> { st with phase = In_cs } | _ -> invalid_arg "Tas_lock.on_enter");
+    on_exit =
+      (fun st -> match st.phase with In_cs -> { st with phase = Release } | _ -> invalid_arg "Tas_lock.on_exit");
+  }

@@ -1,0 +1,13 @@
+(** Test-and-test-and-set lock from a single swap register.
+
+    [swap] is a *historyless* primitive — exactly the class the paper's
+    conclusion (§4) singles out: Zhu's technique does not directly extend
+    to it because a swapper sees the value it displaced.  This lock shows
+    what that extra power buys: one shared location and O(1) charged
+    accesses per uncontended passage, far below the register-only
+    Ω(n log n) mutex cost and the n−1 consensus space floor.  Used by
+    experiments E8 (cost comparison) and E13 (historyless contrast). *)
+
+type state
+
+val make : n:int -> state Algorithm.t

@@ -1,0 +1,103 @@
+open Ts_model
+
+(* Internal nodes are heap-indexed 1 .. leaves-1; each has registers
+   flag[0], flag[1], turn at consecutive indices. *)
+let flag_reg node side = ((node - 1) * 3) + side
+let turn_reg node = ((node - 1) * 3) + 2
+
+let rec leaves_for n acc = if acc >= n then acc else leaves_for n (2 * acc)
+
+(* The lock path of process [p]: (node, side) pairs from its leaf's parent
+   up to the root. *)
+let path_of ~leaves p =
+  let rec go c acc = if c <= 1 then List.rev acc else go (c / 2) ((c / 2, c land 1) :: acc) in
+  go (leaves + p) []
+
+type phase =
+  | Lock_flag of int  (* acquiring path element [i]: write flag[side] = 1 *)
+  | Lock_turn of int  (* write turn = side *)
+  | Wait_flag of int  (* read the rival flag *)
+  | Wait_turn of int  (* read turn *)
+  | At_cs
+  | In_cs
+  | Unlock of int  (* releasing path element [i], descending *)
+  | Finished
+
+type state = {
+  me : int;
+  path : (int * int) list;  (* (node, side), leaf-side first *)
+  phase : phase;
+}
+
+let node_side st i = List.nth st.path i
+
+let int_of = function Value.Bot -> -1 | v -> Value.to_int v
+
+let acquired st i =
+  if i + 1 >= List.length st.path then { st with phase = At_cs }
+  else { st with phase = Lock_flag (i + 1) }
+
+let make ~n : state Algorithm.t =
+  if n < 1 then invalid_arg "Tournament.make: n >= 1";
+  let leaves = leaves_for n 1 in
+  {
+    name = Printf.sprintf "tournament-%d" n;
+    description = "arbitration tree of 2-process Peterson locks (registers only)";
+    num_processes = n;
+    num_registers = 3 * max 1 (leaves - 1);
+    uses_swap = false;
+    start =
+      (fun ~pid ->
+        let path = path_of ~leaves pid in
+        { me = pid; path; phase = (if path = [] then At_cs else Lock_flag 0) });
+    poised =
+      (fun st ->
+        match st.phase with
+        | Lock_flag i ->
+          let node, side = node_side st i in
+          Algorithm.Write (flag_reg node side, Value.int 1)
+        | Lock_turn i ->
+          let node, side = node_side st i in
+          Algorithm.Write (turn_reg node, Value.int side)
+        | Wait_flag i ->
+          let node, side = node_side st i in
+          Algorithm.Read (flag_reg node (1 - side))
+        | Wait_turn i ->
+          let node, _ = node_side st i in
+          Algorithm.Read (turn_reg node)
+        | At_cs -> Algorithm.Enter_cs
+        | In_cs -> Algorithm.Exit_cs
+        | Unlock i ->
+          let node, side = node_side st i in
+          Algorithm.Write (flag_reg node side, Value.int 0)
+        | Finished -> Algorithm.Done);
+    on_read =
+      (fun st v ->
+        match st.phase with
+        | Wait_flag i ->
+          if int_of v <= 0 then acquired st i else { st with phase = Wait_turn i }
+        | Wait_turn i ->
+          let _, side = node_side st i in
+          if int_of v <> side then acquired st i else { st with phase = Wait_flag i }
+        | Lock_flag _ | Lock_turn _ | At_cs | In_cs | Unlock _ | Finished ->
+          invalid_arg "Tournament.on_read");
+    on_write =
+      (fun st ->
+        match st.phase with
+        | Lock_flag i -> { st with phase = Lock_turn i }
+        | Lock_turn i -> { st with phase = Wait_flag i }
+        | Unlock i ->
+          if i = 0 then { st with phase = Finished } else { st with phase = Unlock (i - 1) }
+        | Wait_flag _ | Wait_turn _ | At_cs | In_cs | Finished ->
+          invalid_arg "Tournament.on_write");
+    on_swap = Algorithm.no_swap;
+    on_enter =
+      (fun st -> match st.phase with At_cs -> { st with phase = In_cs } | _ -> invalid_arg "Tournament.on_enter");
+    on_exit =
+      (fun st ->
+        match st.phase with
+        | In_cs ->
+          let top = List.length st.path - 1 in
+          if top < 0 then { st with phase = Finished } else { st with phase = Unlock top }
+        | _ -> invalid_arg "Tournament.on_exit");
+  }

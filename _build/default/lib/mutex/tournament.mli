@@ -1,0 +1,17 @@
+(** Arbitration-tree mutual exclusion: a balanced binary tournament of
+    2-process Peterson locks (the structure of Yang–Anderson's O(n log n)
+    algorithm, charged in the state-change model).
+
+    A process climbs from its leaf to the root, acquiring the 2-process
+    lock of every internal node on the way, enters the critical section at
+    the root, and releases the nodes top-down on exit.  A passage costs
+    O(log n) charged accesses, so a canonical execution costs O(n log n) —
+    matching the Fan–Lynch lower bound, which is the tightness half of
+    experiment E8.
+
+    Registers: 3 per internal node (two flags and a turn), [3 * (2^⌈log2 n⌉ - 1)]
+    in total. *)
+
+type state
+
+val make : n:int -> state Algorithm.t

@@ -1,0 +1,1 @@
+lib/objects/counter.ml: Fmt Impl Printf Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/counter.mli: Impl

@@ -1,0 +1,1 @@
+lib/objects/history.ml: Fmt Hashtbl List Option Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/history.mli: Format Ts_model Value

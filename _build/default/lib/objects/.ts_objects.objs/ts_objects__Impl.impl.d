@@ -1,0 +1,1 @@
+lib/objects/impl.ml: Action Format Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/impl.mli: Action Format Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/linearize.ml: Array Counter Hashtbl History List Maxreg Snapshot Ts_model Value

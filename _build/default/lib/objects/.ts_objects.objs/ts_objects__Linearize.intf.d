@@ -1,0 +1,1 @@
+lib/objects/linearize.mli: Counter History Maxreg Snapshot Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/maxreg.ml: Fmt Impl Printf Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/maxreg.mli: Impl

@@ -1,0 +1,1 @@
+lib/objects/runner.ml: Action Array History Impl List Option Stdlib Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/runner.mli: Action History Impl Ts_model Value

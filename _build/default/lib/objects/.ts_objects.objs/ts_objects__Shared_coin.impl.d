@@ -1,0 +1,1 @@
+lib/objects/shared_coin.ml: Fmt Impl Int64 Printf Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/shared_coin.mli: Impl

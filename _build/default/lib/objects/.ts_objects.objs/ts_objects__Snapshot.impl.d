@@ -1,0 +1,1 @@
+lib/objects/snapshot.ml: Fmt Fun Impl List Printf Ts_model Value

@@ -1,0 +1,1 @@
+lib/objects/snapshot.mli: Impl Ts_model Value

@@ -1,0 +1,49 @@
+open Ts_model
+
+type op =
+  | Inc
+  | Read_count
+
+type state =
+  | Inc_read of { me : int }
+  | Inc_write of { me : int; next : int }
+  | Collect of { n : int; idx : int; sum : int }
+  | Done of Value.t
+
+let count_of = function Value.Bot -> 0 | v -> Value.to_int v
+
+let pp_op ppf = function
+  | Inc -> Fmt.string ppf "inc"
+  | Read_count -> Fmt.string ppf "read"
+
+let make ~n : (state, op) Impl.t =
+  {
+    name = Printf.sprintf "slot-counter-%d" n;
+    description = "wait-free counter: one monotone single-writer slot per process";
+    num_processes = n;
+    num_registers = n;
+    begin_op =
+      (fun ~pid op ->
+        match op with
+        | Inc -> Inc_read { me = pid }
+        | Read_count -> Collect { n; idx = 0; sum = 0 });
+    poised =
+      (function
+        | Inc_read { me } -> Impl.Read me
+        | Inc_write { me; next } -> Impl.Write (me, Value.int next)
+        | Collect { idx; _ } -> Impl.Read idx
+        | Done v -> Impl.Return v);
+    on_read =
+      (fun st v ->
+        match st with
+        | Inc_read { me } -> Inc_write { me; next = count_of v + 1 }
+        | Collect { n; idx; sum } ->
+          let sum = sum + count_of v in
+          if idx = n - 1 then Done (Value.int sum) else Collect { n; idx = idx + 1; sum }
+        | Inc_write _ | Done _ -> invalid_arg "Counter.on_read");
+    on_write =
+      (function
+        | Inc_write _ -> Done Value.bot
+        | Inc_read _ | Collect _ | Done _ -> invalid_arg "Counter.on_write");
+    pp_op;
+  }

@@ -1,0 +1,21 @@
+(** A wait-free linearizable counter from [n] single-writer registers.
+
+    [Inc] reads the caller's slot and writes it back incremented (the slot
+    is single-writer, so the read-modify-write is atomic enough);
+    [Read_count] collects all slots and returns their sum.  Because each
+    slot is monotone, a collect's sum always lies between the counter's
+    value at the collect's start and at its end, which makes the sum a
+    valid linearization point — the classic monotone-collect argument.
+
+    This is the perturbable object of the Jayanti–Tan–Toueg experiment:
+    space [n], reader solo-step complexity [n] (reads every slot), against
+    their lower bound of [n − 1] for both. *)
+
+
+type op =
+  | Inc
+  | Read_count
+
+type state
+
+val make : n:int -> (state, op) Impl.t

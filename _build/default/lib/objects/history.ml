@@ -1,0 +1,63 @@
+open Ts_model
+
+type 'op event =
+  | Inv of int * 'op
+  | Res of int * Value.t
+
+type 'op t = 'op event list
+
+type 'op operation = {
+  pid : int;
+  op : 'op;
+  result : Value.t;
+  inv_at : int;
+  res_at : int;
+}
+
+let operations h =
+  let pending = Hashtbl.create 8 in
+  let ops = ref [] in
+  List.iteri
+    (fun i e ->
+      match e with
+      | Inv (p, op) ->
+        if Hashtbl.mem pending p then
+          invalid_arg "History.operations: double invocation";
+        Hashtbl.replace pending p (op, i)
+      | Res (p, v) ->
+        (match Hashtbl.find_opt pending p with
+         | None -> invalid_arg "History.operations: response without invocation"
+         | Some (op, inv_at) ->
+           Hashtbl.remove pending p;
+           ops := { pid = p; op; result = v; inv_at; res_at = i } :: !ops))
+    h;
+  if Hashtbl.length pending > 0 then
+    invalid_arg "History.operations: incomplete history";
+  List.rev !ops
+
+let complete h =
+  let responded = Hashtbl.create 8 in
+  (* count responses per pid, then keep only invocations that get one *)
+  List.iter
+    (function
+      | Res (p, _) ->
+        Hashtbl.replace responded p (1 + Option.value ~default:0 (Hashtbl.find_opt responded p))
+      | Inv _ -> ())
+    h;
+  List.filter
+    (function
+      | Res _ -> true
+      | Inv (p, _) ->
+        (match Hashtbl.find_opt responded p with
+         | Some k when k > 0 ->
+           Hashtbl.replace responded p (k - 1);
+           true
+         | _ -> false))
+    h
+
+let pp pp_op ppf h =
+  let pp_event ppf = function
+    | Inv (p, op) -> Fmt.pf ppf "p%d:%a?" p pp_op op
+    | Res (p, v) -> Fmt.pf ppf "p%d:=%a" p Value.pp v
+  in
+  Fmt.pf ppf "@[<hov 1>%a@]" Fmt.(list ~sep:sp pp_event) h

@@ -1,0 +1,35 @@
+(** Concurrent histories: the invoke/response record a run of an object
+    produces, in real-time order.  Consumed by the linearizability
+    checker. *)
+
+open Ts_model
+
+type 'op event =
+  | Inv of int * 'op  (** process [pid] invokes [op] *)
+  | Res of int * Value.t  (** process [pid]'s pending operation returns *)
+
+type 'op t = 'op event list
+(** Events in real-time order (head happened first). *)
+
+(** One completed operation extracted from a history. *)
+type 'op operation = {
+  pid : int;
+  op : 'op;
+  result : Value.t;
+  inv_at : int;  (** index of the invocation in the history *)
+  res_at : int;  (** index of the response *)
+}
+
+(** [operations h] pairs up invocations and responses.
+    @raise Invalid_argument on malformed or incomplete histories (a pending
+    invocation without a response must be removed by the caller first — use
+    [complete]). *)
+val operations : 'op t -> 'op operation list
+
+(** [complete h] drops invocations that never received a response.  (For
+    checking purposes this is the "pending operations took no effect"
+    completion; sufficient for our experiments, where sessions finish
+    cleanly or the pending op performed no writes.) *)
+val complete : 'op t -> 'op t
+
+val pp : (Format.formatter -> 'op -> unit) -> Format.formatter -> 'op t -> unit

@@ -1,0 +1,18 @@
+open Ts_model
+
+type step =
+  | Read of Action.reg
+  | Write of Action.reg * Value.t
+  | Return of Value.t
+
+type ('s, 'op) t = {
+  name : string;
+  description : string;
+  num_processes : int;
+  num_registers : int;
+  begin_op : pid:int -> 'op -> 's;
+  poised : 's -> step;
+  on_read : 's -> Value.t -> 's;
+  on_write : 's -> 's;
+  pp_op : Format.formatter -> 'op -> unit;
+}

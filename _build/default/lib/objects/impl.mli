@@ -1,0 +1,31 @@
+(** Long-lived shared objects implemented from registers.
+
+    Unlike a consensus protocol (one shot, ends in a decision), an object
+    implementation serves an unbounded stream of operations per process.
+    An operation in progress is a small state machine poised to read, to
+    write, or to return a response; its state must be plain immutable data
+    so sessions can be cloned for adversarial experiments.
+
+    These are the perturbable objects of the Jayanti–Tan–Toueg bound (and
+    of part I.1 of the lecture bundle): counters, max-registers and
+    single-writer snapshots, all implementable wait-free from registers,
+    all subject to the n−1 space/solo-step lower bound. *)
+
+open Ts_model
+
+type step =
+  | Read of Action.reg
+  | Write of Action.reg * Value.t
+  | Return of Value.t  (** the operation completes with this response *)
+
+type ('s, 'op) t = {
+  name : string;
+  description : string;
+  num_processes : int;
+  num_registers : int;
+  begin_op : pid:int -> 'op -> 's;  (** state at the operation's invocation *)
+  poised : 's -> step;
+  on_read : 's -> Value.t -> 's;
+  on_write : 's -> 's;
+  pp_op : Format.formatter -> 'op -> unit;
+}

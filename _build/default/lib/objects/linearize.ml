@@ -1,0 +1,80 @@
+open Ts_model
+
+type ('st, 'op) spec = {
+  init : 'st;
+  apply : 'st -> pid:int -> 'op -> 'st * Value.t;
+}
+
+let check spec history =
+  let ops = Array.of_list (History.operations history) in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Linearize.check: history too large";
+  let full = (1 lsl n) - 1 in
+  (* [failed] remembers (mask, state) pairs from which no completion
+     exists; states are plain data so structural hashing applies. *)
+  let failed = Hashtbl.create 256 in
+  (* o can linearize next iff no other unlinearized op finished before o
+     was invoked. *)
+  let minimal mask i =
+    let oi = ops.(i) in
+    let ok = ref true in
+    for j = 0 to n - 1 do
+      if j <> i && mask land (1 lsl j) = 0 && ops.(j).History.res_at < oi.History.inv_at
+      then ok := false
+    done;
+    !ok
+  in
+  let rec go mask state acc =
+    if mask = full then Some (List.rev acc)
+    else if Hashtbl.mem failed (mask, state) then None
+    else begin
+      let result = ref None in
+      (try
+         for i = 0 to n - 1 do
+           if mask land (1 lsl i) = 0 && minimal mask i then begin
+             let o = ops.(i) in
+             let state', v = spec.apply state ~pid:o.History.pid o.History.op in
+             if Value.equal v o.History.result then
+               match go (mask lor (1 lsl i)) state' (i :: acc) with
+               | Some _ as r ->
+                 result := r;
+                 raise Exit
+               | None -> ()
+           end
+         done
+       with Exit -> ());
+      if !result = None then Hashtbl.replace failed (mask, state) ();
+      !result
+    end
+  in
+  go 0 spec.init []
+
+let counter_spec =
+  {
+    init = 0;
+    apply =
+      (fun s ~pid:_ op ->
+        match op with
+        | Counter.Inc -> s + 1, Value.bot
+        | Counter.Read_count -> s, Value.int s);
+  }
+
+let maxreg_spec =
+  {
+    init = 0;
+    apply =
+      (fun s ~pid:_ op ->
+        match op with
+        | Maxreg.Write_max v -> max s v, Value.bot
+        | Maxreg.Read_max -> s, Value.int s);
+  }
+
+let snapshot_spec ~n =
+  {
+    init = List.init n (fun _ -> Value.bot);
+    apply =
+      (fun s ~pid op ->
+        match op with
+        | Snapshot.Update v -> List.mapi (fun i x -> if i = pid then v else x) s, Value.bot
+        | Snapshot.Scan -> s, Value.list s);
+  }

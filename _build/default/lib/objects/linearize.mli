@@ -1,0 +1,30 @@
+(** Linearizability checking (Wing–Gong / Herlihy–Wing style).
+
+    Given a complete concurrent history and a sequential specification,
+    search for a linearization: a total order of the operations that
+    respects real-time precedence and in which every response matches the
+    specification.  Exponential in the worst case; intended for the small
+    and medium histories the tests and experiments generate (memoized on
+    the set of linearized operations plus specification state). *)
+
+open Ts_model
+
+type ('st, 'op) spec = {
+  init : 'st;
+  apply : 'st -> pid:int -> 'op -> 'st * Value.t;
+      (** sequential effect of one operation *)
+}
+
+(** [check spec history] decides whether [history] (which must be complete;
+    see {!History.complete}) is linearizable w.r.t. [spec].  Returns the
+    witness order as operation indices when it is. *)
+val check : ('st, 'op) spec -> 'op History.t -> int list option
+
+(** Sequential specification of {!Counter}. *)
+val counter_spec : (int, Counter.op) spec
+
+(** Sequential specification of {!Maxreg}. *)
+val maxreg_spec : (int, Maxreg.op) spec
+
+(** Sequential specification of {!Snapshot} for [n] processes. *)
+val snapshot_spec : n:int -> (Value.t list, Snapshot.op) spec

@@ -1,0 +1,53 @@
+open Ts_model
+
+type op =
+  | Write_max of int
+  | Read_max
+
+type state =
+  | Wm_read of { me : int; v : int }
+  | Wm_write of { me : int; v : int }
+  | Collect of { n : int; idx : int; best : int }
+  | Done of Value.t
+
+let nat_of = function Value.Bot -> 0 | v -> Value.to_int v
+
+let pp_op ppf = function
+  | Write_max v -> Fmt.pf ppf "writeMax(%d)" v
+  | Read_max -> Fmt.string ppf "readMax"
+
+let make ~n : (state, op) Impl.t =
+  {
+    name = Printf.sprintf "slot-maxreg-%d" n;
+    description = "wait-free max-register: one monotone single-writer slot per process";
+    num_processes = n;
+    num_registers = n;
+    begin_op =
+      (fun ~pid op ->
+        match op with
+        | Write_max v ->
+          if v < 0 then invalid_arg "Maxreg: negative value";
+          Wm_read { me = pid; v }
+        | Read_max -> Collect { n; idx = 0; best = 0 });
+    poised =
+      (function
+        | Wm_read { me; _ } -> Impl.Read me
+        | Wm_write { me; v } -> Impl.Write (me, Value.int v)
+        | Collect { idx; _ } -> Impl.Read idx
+        | Done v -> Impl.Return v);
+    on_read =
+      (fun st value ->
+        match st with
+        | Wm_read { me; v } ->
+          if v > nat_of value then Wm_write { me; v } else Done Value.bot
+        | Collect { n; idx; best } ->
+          let best = max best (nat_of value) in
+          if idx = n - 1 then Done (Value.int best)
+          else Collect { n; idx = idx + 1; best }
+        | Wm_write _ | Done _ -> invalid_arg "Maxreg.on_read");
+    on_write =
+      (function
+        | Wm_write _ -> Done Value.bot
+        | Wm_read _ | Collect _ | Done _ -> invalid_arg "Maxreg.on_write");
+    pp_op;
+  }

@@ -1,0 +1,16 @@
+(** A wait-free linearizable max-register (over naturals) from [n]
+    single-writer registers.
+
+    [Write_max v] raises the caller's slot to at least [v]; [Read_max]
+    collects all slots and returns the maximum (0 when fresh).  Slots are
+    monotone, so the collect-max is linearizable by the same argument as
+    the counter's collect-sum. *)
+
+
+type op =
+  | Write_max of int  (** argument must be [>= 0] *)
+  | Read_max
+
+type state
+
+val make : n:int -> (state, op) Impl.t

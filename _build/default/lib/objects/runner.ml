@@ -1,0 +1,83 @@
+open Ts_model
+
+type ('s, 'op) t = {
+  impl : ('s, 'op) Impl.t;
+  mutable regs : Value.t array;
+  mutable states : 's option array;
+  mutable hist : 'op History.event list;  (* newest first *)
+  mutable accesses : Action.reg list array;  (* per-process, current op *)
+  mutable written : Action.reg list;  (* distinct, unsorted *)
+}
+
+let create impl =
+  {
+    impl;
+    regs = Array.make (max 1 impl.Impl.num_registers) Value.bot;
+    states = Array.make impl.Impl.num_processes None;
+    hist = [];
+    accesses = Array.make impl.Impl.num_processes [];
+    written = [];
+  }
+
+let clone t =
+  {
+    t with
+    regs = Array.copy t.regs;
+    states = Array.copy t.states;
+    accesses = Array.copy t.accesses;
+  }
+
+let impl t = t.impl
+let busy t p = Option.is_some t.states.(p)
+
+let invoke t p op =
+  if busy t p then invalid_arg "Runner.invoke: operation already in progress";
+  t.states.(p) <- Some (t.impl.Impl.begin_op ~pid:p op);
+  t.accesses.(p) <- [];
+  t.hist <- History.Inv (p, op) :: t.hist
+
+let poised t p = Option.map t.impl.Impl.poised t.states.(p)
+
+let record_access t p r =
+  if not (List.mem r t.accesses.(p)) then t.accesses.(p) <- r :: t.accesses.(p)
+
+let step t p =
+  match t.states.(p) with
+  | None -> invalid_arg "Runner.step: no operation in progress"
+  | Some s ->
+    (match t.impl.Impl.poised s with
+     | Impl.Read r ->
+       record_access t p r;
+       t.states.(p) <- Some (t.impl.Impl.on_read s t.regs.(r));
+       `Continues
+     | Impl.Write (r, v) ->
+       record_access t p r;
+       if not (List.mem r t.written) then t.written <- r :: t.written;
+       t.regs.(r) <- v;
+       t.states.(p) <- Some (t.impl.Impl.on_write s);
+       `Continues
+     | Impl.Return v ->
+       t.states.(p) <- None;
+       t.hist <- History.Res (p, v) :: t.hist;
+       `Returned v)
+
+let finish t p =
+  let budget = 1_000_000 in
+  let rec go n =
+    if n >= budget then
+      invalid_arg "Runner.finish: operation did not return (not wait-free?)"
+    else
+      match step t p with
+      | `Continues -> go (n + 1)
+      | `Returned v -> v, n + 1
+  in
+  go 0
+
+let op t p o =
+  invoke t p o;
+  finish t p
+
+let history t = List.rev t.hist
+let op_accesses t p = List.sort_uniq Stdlib.compare t.accesses.(p)
+let written t = List.sort_uniq Stdlib.compare t.written
+let register t r = t.regs.(r)

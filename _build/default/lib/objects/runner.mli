@@ -1,0 +1,52 @@
+(** Mutable sessions driving an object implementation.
+
+    A session holds the shared registers and each process's in-progress
+    operation; the caller (test, adversary, workload generator) decides who
+    steps when.  Sessions are cloneable, which is what the covering
+    adversary needs to compare a run with and without a hidden
+    perturbation. *)
+
+open Ts_model
+
+type ('s, 'op) t
+
+val create : ('s, 'op) Impl.t -> ('s, 'op) t
+val clone : ('s, 'op) t -> ('s, 'op) t
+val impl : ('s, 'op) t -> ('s, 'op) Impl.t
+
+(** [invoke t p op] starts [op] at process [p].
+    @raise Invalid_argument if [p] already has an operation in progress. *)
+val invoke : ('s, 'op) t -> int -> 'op -> unit
+
+(** [busy t p] holds iff [p] has an operation in progress. *)
+val busy : ('s, 'op) t -> int -> bool
+
+(** [poised t p] is the step [p]'s pending operation will take next. *)
+val poised : ('s, 'op) t -> int -> Impl.step option
+
+(** [step t p] advances [p]'s operation by one step.
+    @raise Invalid_argument if [p] has no operation in progress. *)
+val step : ('s, 'op) t -> int -> [ `Continues | `Returned of Value.t ]
+
+(** [finish t p] runs [p] solo until its current operation returns.
+    Returns the response and the number of steps taken.
+    @raise Invalid_argument if no operation is in progress, or if the
+    operation fails to return within a large internal budget (a wait-free
+    implementation always returns). *)
+val finish : ('s, 'op) t -> int -> Value.t * int
+
+(** [op t p op] = invoke + finish: runs a whole solo operation. *)
+val op : ('s, 'op) t -> int -> 'op -> Value.t * int
+
+(** The history of all invocations and responses so far. *)
+val history : ('s, 'op) t -> 'op History.t
+
+(** Distinct registers accessed (read or written) by [p] since its current
+    operation began; reset at [invoke].  Sorted. *)
+val op_accesses : ('s, 'op) t -> int -> Action.reg list
+
+(** Distinct registers written in the whole session so far.  Sorted. *)
+val written : ('s, 'op) t -> Action.reg list
+
+(** Current contents of register [r]. *)
+val register : ('s, 'op) t -> Action.reg -> Value.t

@@ -1,0 +1,58 @@
+open Ts_model
+
+type op = Toss of { seed : int }
+
+(* One splitmix64 step over plain int state: deterministic pseudo-coins
+   without mutable generator state. *)
+let next_coin seed =
+  let open Int64 in
+  let z = add (of_int seed) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 1L) = 1, to_int (logand z max_int)
+
+type state =
+  | Read_own of { me : int; n : int; k : int; seed : int; own : int }
+      (* [own] is our running contribution; re-read to stay single-writer-honest *)
+  | Write_own of { me : int; n : int; k : int; seed : int; own : int }
+  | Collect of { me : int; n : int; k : int; seed : int; own : int; idx : int; sum : int }
+  | Done of Value.t
+
+let make ~n ~k : (state, op) Impl.t =
+  if k < 1 then invalid_arg "Shared_coin.make: k >= 1";
+  {
+    name = Printf.sprintf "walk-coin-%d" n;
+    description = "weak shared coin: ±1 random walk over n slots";
+    num_processes = n;
+    num_registers = n;
+    begin_op =
+      (fun ~pid (Toss { seed }) -> Read_own { me = pid; n; k; seed; own = 0 });
+    poised =
+      (function
+        | Read_own { me; _ } -> Impl.Read me
+        | Write_own { me; own; _ } -> Impl.Write (me, Value.int own)
+        | Collect { idx; _ } -> Impl.Read idx
+        | Done v -> Impl.Return v);
+    on_read =
+      (fun st v ->
+        match st with
+        | Read_own r ->
+          let cur = match v with Value.Bot -> 0 | v -> Value.to_int v in
+          let up, seed = next_coin r.seed in
+          Write_own { me = r.me; n = r.n; k = r.k; seed; own = cur + (if up then 1 else -1) }
+        | Collect c ->
+          let x = match v with Value.Bot -> 0 | v -> Value.to_int v in
+          let sum = c.sum + x in
+          if c.idx = c.n - 1 then
+            if abs sum >= c.k * c.n then Done (Value.bool (sum > 0))
+            else Read_own { me = c.me; n = c.n; k = c.k; seed = c.seed; own = c.own }
+          else Collect { c with idx = c.idx + 1; sum }
+        | Write_own _ | Done _ -> invalid_arg "Shared_coin.on_read");
+    on_write =
+      (function
+        | Write_own w ->
+          Collect { me = w.me; n = w.n; k = w.k; seed = w.seed; own = w.own; idx = 0; sum = 0 }
+        | Read_own _ | Collect _ | Done _ -> invalid_arg "Shared_coin.on_write");
+    pp_op = (fun ppf (Toss { seed }) -> Fmt.pf ppf "toss(%d)" seed);
+  }

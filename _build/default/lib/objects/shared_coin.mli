@@ -1,0 +1,23 @@
+(** A weak shared coin by random walk (Aspnes–Herlihy style).
+
+    The building block of sub-exponential randomized consensus: processes
+    repeatedly flip local coins and push ±1 increments into per-process
+    slots; once the collected sum drifts past [±K·n] they output its sign.
+    Because the walk must travel a long way to cross from one threshold to
+    the other, most executions end with every process seeing the same
+    sign — a "weak" coin: all processes agree on the outcome with constant
+    probability, regardless of the schedule.
+
+    Local coin flips are derived from a splitmix state carried in the
+    operation ([Toss { seed }]), keeping the state machine deterministic
+    data, so sessions remain cloneable and replays exact.
+
+    [Toss] returns [Value.Bool sign].  Each process may toss once per
+    instance. *)
+
+type op = Toss of { seed : int }
+
+type state
+
+(** [make ~n ~k] uses threshold [k * n]; [k >= 1]. *)
+val make : n:int -> k:int -> (state, op) Impl.t

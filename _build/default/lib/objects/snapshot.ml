@@ -1,0 +1,99 @@
+open Ts_model
+
+type op =
+  | Update of Value.t
+  | Scan
+
+type seg = { seq : int; v : Value.t; view : Value.t list }
+
+type cont =
+  | Scan_return
+  | Update_write of Value.t
+
+type state =
+  | Scanning of {
+      me : int;
+      n : int;
+      cont : cont;
+      prev : seg list option;  (* last complete collect *)
+      acc : seg list;  (* current collect, reversed *)
+      idx : int;  (* next segment to read *)
+      moved : int list;  (* per-process observed moves *)
+    }
+  | Writing of { me : int; seq : int; v : Value.t; view : Value.t list }
+  | Done of Value.t
+
+let decode n = function
+  | Value.Bot -> { seq = 0; v = Value.bot; view = List.init n (fun _ -> Value.bot) }
+  | Value.Pair (Value.Int seq, Value.Pair (v, Value.List view)) -> { seq; v; view }
+  | _ -> invalid_arg "Snapshot.decode: corrupt segment"
+
+let encode s = Value.pair (Value.int s.seq) (Value.pair s.v (Value.list s.view))
+
+let start_scan ~me ~n ~cont =
+  Scanning { me; n; cont; prev = None; acc = []; idx = 0; moved = List.init n (fun _ -> 0) }
+
+let deliver ~me ~cont ~cur view =
+  match cont with
+  | Scan_return -> Done (Value.list view)
+  | Update_write v ->
+    let own = List.nth cur me in
+    Writing { me; seq = own.seq + 1; v; view }
+
+(* A complete collect [cur] arrived; compare against [prev]. *)
+let collect_done ~me ~n ~cont ~prev ~moved cur =
+  match prev with
+  | None ->
+    Scanning { me; n; cont; prev = Some cur; acc = []; idx = 0; moved }
+  | Some pv ->
+    let changed =
+      List.filter
+        (fun i -> (List.nth pv i).seq <> (List.nth cur i).seq)
+        (List.init n Fun.id)
+    in
+    if changed = [] then
+      deliver ~me ~cont ~cur (List.map (fun s -> s.v) cur)
+    else
+      let moved = List.mapi (fun i m -> if List.mem i changed then m + 1 else m) moved in
+      (match List.find_opt (fun i -> List.nth moved i >= 2) changed with
+       | Some i -> deliver ~me ~cont ~cur (List.nth cur i).view
+       | None -> Scanning { me; n; cont; prev = Some cur; acc = []; idx = 0; moved })
+
+let pp_op ppf = function
+  | Update v -> Fmt.pf ppf "update(%a)" Value.pp v
+  | Scan -> Fmt.string ppf "scan"
+
+let make ~n : (state, op) Impl.t =
+  {
+    name = Printf.sprintf "afek-snapshot-%d" n;
+    description = "Afek et al. wait-free single-writer atomic snapshot";
+    num_processes = n;
+    num_registers = n;
+    begin_op =
+      (fun ~pid op ->
+        match op with
+        | Scan -> start_scan ~me:pid ~n ~cont:Scan_return
+        | Update v -> start_scan ~me:pid ~n ~cont:(Update_write v));
+    poised =
+      (function
+        | Scanning { idx; _ } -> Impl.Read idx
+        | Writing { me; seq; v; view } -> Impl.Write (me, encode { seq; v; view })
+        | Done v -> Impl.Return v);
+    on_read =
+      (fun st value ->
+        match st with
+        | Scanning ({ n; idx; acc; _ } as s) ->
+          let acc = decode n value :: acc in
+          if idx = n - 1 then
+            collect_done ~me:s.me ~n ~cont:s.cont ~prev:s.prev ~moved:s.moved
+              (List.rev acc)
+          else Scanning { s with acc; idx = idx + 1 }
+        | Writing _ | Done _ -> invalid_arg "Snapshot.on_read");
+    on_write =
+      (function
+        | Writing _ -> Done Value.bot
+        | Scanning _ | Done _ -> invalid_arg "Snapshot.on_write");
+    pp_op;
+  }
+
+let view_of_scan = Value.to_list

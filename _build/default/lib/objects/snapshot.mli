@@ -1,0 +1,28 @@
+(** Wait-free single-writer atomic snapshot from registers
+    (Afek, Attiya, Dolev, Gafni, Merritt, Shavit, JACM 1993).
+
+    One register ("segment") per process holds a triple
+    [(sequence number, value, embedded view)].  [Scan] repeatedly collects
+    all segments: two identical consecutive collects are a true snapshot
+    ("direct" scan); otherwise a process observed to move twice has
+    performed a whole [Update] — embedded scan included — inside our scan's
+    interval, so its embedded view can be borrowed.  [Update v] performs an
+    embedded scan and then writes [(seq+1, v, view)] to its own segment.
+
+    A scan terminates after at most [n + 2] collects, each of [n] reads.
+    The single-writer snapshot is in the Jayanti–Tan–Toueg set [A] of
+    perturbable objects, so its space is subject to the [n − 1] bound;
+    this implementation uses exactly [n] registers. *)
+
+open Ts_model
+
+type op =
+  | Update of Value.t
+  | Scan
+
+type state
+
+val make : n:int -> (state, op) Impl.t
+
+(** [view_of_scan v] decodes a [Scan] response into the per-process values. *)
+val view_of_scan : Value.t -> Value.t list

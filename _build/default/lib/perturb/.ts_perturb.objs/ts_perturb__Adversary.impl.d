@@ -1,0 +1,1 @@
+lib/perturb/adversary.ml: Action Counter Fmt Fun Impl List Maxreg Runner Snapshot Stdlib Ts_model Ts_objects Value

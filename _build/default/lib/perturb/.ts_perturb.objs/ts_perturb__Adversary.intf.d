@@ -1,0 +1,1 @@
+lib/perturb/adversary.mli: Action Format Impl Ts_model Ts_objects Value

@@ -1,0 +1,1 @@
+lib/protocols/broken.ml: Action Fmt List Printf Protocol Ts_model Value

@@ -1,0 +1,1 @@
+lib/protocols/broken.mli: Ts_model

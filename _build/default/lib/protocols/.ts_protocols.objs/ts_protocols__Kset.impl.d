@@ -1,0 +1,1 @@
+lib/protocols/kset.ml: Action Fmt Printf Protocol Ts_model Value

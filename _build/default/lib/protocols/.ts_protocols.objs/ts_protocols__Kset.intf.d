@@ -1,0 +1,1 @@
+lib/protocols/kset.mli: Ts_model

@@ -1,0 +1,1 @@
+lib/protocols/multivalued.ml: Action Fmt Printf Protocol Ts_model Value

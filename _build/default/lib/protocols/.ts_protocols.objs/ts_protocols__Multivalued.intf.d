@@ -1,0 +1,1 @@
+lib/protocols/multivalued.mli: Ts_model

@@ -1,0 +1,1 @@
+lib/protocols/racing.mli: Ts_model

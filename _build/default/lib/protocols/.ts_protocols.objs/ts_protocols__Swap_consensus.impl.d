@@ -1,0 +1,1 @@
+lib/protocols/swap_consensus.ml: Action Fmt Printf Protocol Ts_model Value

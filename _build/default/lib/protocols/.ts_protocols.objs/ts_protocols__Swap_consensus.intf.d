@@ -1,0 +1,1 @@
+lib/protocols/swap_consensus.mli: Ts_model

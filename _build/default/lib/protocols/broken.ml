@@ -1,0 +1,101 @@
+open Ts_model
+
+type state =
+  | Lww of { input : int; stage : int }  (* 0 write, 1 read, 2 decide v *)
+  | Lww_done of int
+  | Max of { me : int; n : int; pref : int; step : int; seen : int list }
+  | Max_write of { me : int; n : int; pref : int; target : int }
+  | Max_decide of int
+  | Const of int
+  | Spin
+
+let pp_state ppf = function
+  | Lww { input; stage } -> Fmt.pf ppf "lww(%d,@%d)" input stage
+  | Lww_done v -> Fmt.pf ppf "lww-done(%d)" v
+  | Max { pref; step; _ } -> Fmt.pf ppf "max(pref=%d,@%d)" pref step
+  | Max_write { pref; target; _ } -> Fmt.pf ppf "max-w(%d->R%d)" pref target
+  | Max_decide v -> Fmt.pf ppf "max-d(%d)" v
+  | Const v -> Fmt.pf ppf "const(%d)" v
+  | Spin -> Fmt.string ppf "spin"
+
+let base ~name ~description ~n ~regs ~init ~poised ~on_read ~on_write :
+    state Protocol.t =
+  {
+    name;
+    description;
+    num_processes = n;
+    num_registers = regs;
+    init;
+    poised;
+    on_read;
+    on_write;
+    on_swap = Protocol.no_swap;
+    on_flip = Protocol.no_flip;
+    pp_state;
+  }
+
+let last_write_wins ~n =
+  base ~name:(Printf.sprintf "broken-lww-%d" n)
+    ~description:"write input to R0, decide what a later read returns" ~n
+    ~regs:1
+    ~init:(fun ~pid:_ ~input -> Lww { input = Value.to_int input; stage = 0 })
+    ~poised:(function
+      | Lww { input; stage = 0 } -> Action.Write (0, Value.int input)
+      | Lww { stage = 1; _ } -> Action.Read 0
+      | Lww_done v -> Action.Decide (Value.int v)
+      | _ -> assert false)
+    ~on_read:(fun st v ->
+      match st with
+      | Lww { stage = 1; _ } -> Lww_done (Value.to_int v)
+      | _ -> assert false)
+    ~on_write:(function
+      | Lww r -> Lww { r with stage = 1 }
+      | _ -> assert false)
+
+let naive_max ~n =
+  let scan me n pref = Max { me; n; pref; step = 0; seen = [] } in
+  base ~name:(Printf.sprintf "broken-max-%d" n)
+    ~description:"roundless max-racing: decide on unanimous scan" ~n ~regs:n
+    ~init:(fun ~pid ~input -> scan pid n (Value.to_int input))
+    ~poised:(function
+      | Max { step; _ } -> Action.Read step
+      | Max_write { target; pref; _ } -> Action.Write (target, Value.int pref)
+      | Max_decide v -> Action.Decide (Value.int v)
+      | _ -> assert false)
+    ~on_read:(fun st v ->
+      match st with
+      | Max ({ me; n; pref; step; seen } as r) ->
+        let c = match v with Value.Bot -> -1 | v -> Value.to_int v in
+        let seen = seen @ [ c ] in
+        if step < n - 1 then Max { r with step = step + 1; seen }
+        else if List.for_all (fun x -> x = pref) seen then Max_decide pref
+        else
+          let pref = List.fold_left max pref seen in
+          let target =
+            match
+              List.find_index (fun x -> x <> pref) seen
+            with
+            | Some i -> i
+            | None -> 0
+          in
+          Max_write { me; n; pref; target }
+      | _ -> assert false)
+    ~on_write:(function
+      | Max_write { me; n; pref; _ } -> scan me n pref
+      | _ -> assert false)
+
+let oblivious_seven ~n =
+  base ~name:(Printf.sprintf "broken-const-%d" n)
+    ~description:"decides 7 whatever the inputs" ~n ~regs:1
+    ~init:(fun ~pid:_ ~input:_ -> Const 7)
+    ~poised:(function Const v -> Action.Decide (Value.int v) | _ -> assert false)
+    ~on_read:(fun _ _ -> assert false)
+    ~on_write:(fun _ -> assert false)
+
+let insomniac ~n =
+  base ~name:(Printf.sprintf "broken-spin-%d" n)
+    ~description:"reads R0 forever, never decides" ~n ~regs:1
+    ~init:(fun ~pid:_ ~input:_ -> Spin)
+    ~poised:(function Spin -> Action.Read 0 | _ -> assert false)
+    ~on_read:(fun st _ -> st)
+    ~on_write:(fun _ -> assert false)

@@ -1,0 +1,27 @@
+(** Deliberately incorrect protocols, used as negative controls.
+
+    A verifier that never rejects anything verifies nothing: these
+    protocols each violate exactly one consensus property, and the test
+    suite asserts that the model checker (and, where applicable, the
+    adversary engine's premise checks) catch them. *)
+
+type state
+
+(** First write wins... except it doesn't: each process writes its input to
+    register 0, reads it back, and decides what it read.  Violates
+    agreement for n >= 2 (write/write/read/read interleaving). *)
+val last_write_wins : n:int -> state Ts_model.Protocol.t
+
+(** "Max racing" without rounds: scan all n registers; decide when all
+    equal your preference; otherwise adopt the maximum value present and
+    write it to the first disagreeing register.  Looks plausible, violates
+    agreement: a decided 0 can be steamrolled by a late waker preferring 1.
+    This is the protocol the racing-counters design notes reject. *)
+val naive_max : n:int -> state Ts_model.Protocol.t
+
+(** Decides the constant 7 regardless of inputs: violates validity. *)
+val oblivious_seven : n:int -> state Ts_model.Protocol.t
+
+(** Reads register 0 forever: violates (nondeterministic solo)
+    termination. *)
+val insomniac : n:int -> state Ts_model.Protocol.t

@@ -1,0 +1,95 @@
+open Ts_model
+
+let group ~k p = p mod k
+let group_rank ~k p = p / k
+
+let group_size ~n ~k g =
+  (* members of group g are g, g+k, g+2k, ... below n *)
+  if g >= n then 0 else ((n - g - 1) / k) + 1
+
+(* Register base of group [g]: groups are laid out consecutively, 2 slots
+   per member (one per binary value). *)
+let base ~n ~k g =
+  let rec go h acc = if h = g then acc else go (h + 1) (acc + (2 * group_size ~n ~k h)) in
+  go 0 0
+
+type phase =
+  | Scanning of { step : int; s_own : int; s_riv : int; my_own : int; my_riv : int }
+  | Incrementing of int
+  | Deciding
+
+type state = {
+  rank : int;  (* index within the group *)
+  m : int;  (* group size *)
+  base : int;  (* first register of the group's block *)
+  pref : int;
+  phase : phase;
+}
+
+let fresh_scan = Scanning { step = 0; s_own = 0; s_riv = 0; my_own = 0; my_riv = 0 }
+
+let count_of = function Value.Bot -> 0 | v -> Value.to_int v
+
+let slot st v rank = st.base + (v * st.m) + rank
+
+let scan_target st step =
+  let v = if step < st.m then st.pref else 1 - st.pref in
+  slot st v (step mod st.m)
+
+let poised st =
+  match st.phase with
+  | Scanning s -> Action.Read (scan_target st s.step)
+  | Incrementing c -> Action.Write (slot st st.pref st.rank, Value.int c)
+  | Deciding -> Action.Decide (Value.int st.pref)
+
+let on_read st value =
+  match st.phase with
+  | Scanning s ->
+    let c = count_of value in
+    let own_phase = s.step < st.m in
+    let idx = s.step mod st.m in
+    let s_own = if own_phase then s.s_own + c else s.s_own in
+    let s_riv = if own_phase then s.s_riv else s.s_riv + c in
+    let my_own = if own_phase && idx = st.rank then c else s.my_own in
+    let my_riv = if (not own_phase) && idx = st.rank then c else s.my_riv in
+    if s.step = (2 * st.m) - 1 then
+      if s_own >= s_riv + st.m then { st with phase = Deciding }
+      else if s_riv > s_own then
+        { st with pref = 1 - st.pref; phase = Incrementing (my_riv + 1) }
+      else { st with phase = Incrementing (my_own + 1) }
+    else { st with phase = Scanning { step = s.step + 1; s_own; s_riv; my_own; my_riv } }
+  | Incrementing _ | Deciding -> invalid_arg "Kset.on_read"
+
+let on_write st =
+  match st.phase with
+  | Incrementing _ -> { st with phase = fresh_scan }
+  | Scanning _ | Deciding -> invalid_arg "Kset.on_write"
+
+let make ~n ~k : state Protocol.t =
+  if k < 1 || k > n then invalid_arg "Kset.make: need 1 <= k <= n";
+  {
+    name = Printf.sprintf "kset-%d-of-%d" k n;
+    description = "partitioned k-set agreement: one racing consensus per group";
+    num_processes = n;
+    num_registers = 2 * n;
+    init =
+      (fun ~pid ~input ->
+        let pref = Value.to_int input in
+        if pref <> 0 && pref <> 1 then invalid_arg "Kset.init: input must be 0 or 1";
+        let g = group ~k pid in
+        {
+          rank = group_rank ~k pid;
+          m = group_size ~n ~k g;
+          base = base ~n ~k g;
+          pref;
+          phase = fresh_scan;
+        });
+    poised;
+    on_read;
+    on_write;
+    on_swap = Protocol.no_swap;
+    on_flip = Protocol.no_flip;
+    pp_state =
+      (fun ppf st ->
+        Fmt.pf ppf "⟨g@%d rank=%d pref=%d⟩" st.base st.rank st.pref);
+  }

@@ -1,0 +1,30 @@
+(** Obstruction-free k-set agreement from registers.
+
+    k-set agreement relaxes consensus: at most [k] distinct values may be
+    decided (consensus is k = 1).  The paper's conclusion (§4) asks whether
+    the covering/valency technique yields an Ω(n − k) space bound; the best
+    known upper bound is n − k + 1 registers [BRS15].
+
+    This implementation is the simple *partitioned* upper bound: processes
+    are split round-robin into [k] groups and each group independently runs
+    racing-counters consensus among its members, giving at most one decided
+    value per group.  Space is 2n registers — not the BRS15 optimum, but
+    the right shape (O(n) for fixed k), obstruction-free, and a correct
+    baseline for the E15 experiment.  The substitution is documented in
+    DESIGN.md.
+
+    Inputs must be [Value.Int 0] or [Value.Int 1] per process (binary
+    k-set agreement; with k >= 2 groups the set of decided values can still
+    have size up to [min k 2]). *)
+
+type state
+
+(** [make ~n ~k] — [1 <= k <= n]. *)
+val make : n:int -> k:int -> state Ts_model.Protocol.t
+
+(** [group ~k p] is the group of process [p]; [group_rank ~k p] its index
+    inside the group; [group_size ~n ~k g] the group's population. *)
+val group : k:int -> int -> int
+
+val group_rank : k:int -> int -> int
+val group_size : n:int -> k:int -> int -> int

@@ -1,0 +1,137 @@
+open Ts_model
+
+let bit v i = (v lsr i) land 1
+
+(* Register layout: posts 0..n-1, then bit-i race block at n + 2n*i with
+   slot (v, p) at offset v*n + p. *)
+let post_reg p = p
+let race_slot ~n i v p = n + (2 * n * i) + (v * n) + p
+
+type race = {
+  step : int;  (* 0 .. 2n-1; < n = own-preference slots *)
+  s_own : int;
+  s_riv : int;
+  my_own : int;
+  my_riv : int;
+}
+
+let fresh_race = { step = 0; s_own = 0; s_riv = 0; my_own = 0; my_riv = 0 }
+
+type phase =
+  | Post
+  | Racing of { round : int; pref : int; race : race }
+  | Bumping of { round : int; pref : int; next : int }
+      (* pending increment in round's race *)
+  | Rescanning of { round : int; idx : int }
+      (* candidate clashed with the decided prefix: scan the posts *)
+  | Deciding
+
+type state = {
+  me : int;
+  n : int;
+  bits : int;
+  cand : int;  (* current candidate value *)
+  prefix : int;  (* decided bits 0..round-1, packed *)
+  phase : phase;
+}
+
+let count_of = function Value.Bot -> 0 | v -> Value.to_int v
+
+(* The embedded race for bit [round] ended with decision [d]. *)
+let bit_decided st round d =
+  let prefix = st.prefix lor (d lsl round) in
+  let st = { st with prefix } in
+  if bit st.cand round = d then
+    if round + 1 = st.bits then { st with phase = Deciding }
+    else { st with phase = Racing { round = round + 1; pref = bit st.cand (round + 1); race = fresh_race } }
+  else { st with phase = Rescanning { round; idx = 0 } }
+
+let race_read st ~round ~pref race value =
+  let n = st.n in
+  let c = count_of value in
+  let own_phase = race.step < n in
+  let idx = race.step mod n in
+  let s_own = if own_phase then race.s_own + c else race.s_own in
+  let s_riv = if own_phase then race.s_riv else race.s_riv + c in
+  let my_own = if own_phase && idx = st.me then c else race.my_own in
+  let my_riv = if (not own_phase) && idx = st.me then c else race.my_riv in
+  if race.step = (2 * n) - 1 then
+    if s_own >= s_riv + n then bit_decided st round pref
+    else if s_riv > s_own then
+      { st with phase = Bumping { round; pref = 1 - pref; next = my_riv + 1 } }
+    else { st with phase = Bumping { round; pref; next = my_own + 1 } }
+  else
+    { st with phase = Racing { round; pref; race = { step = race.step + 1; s_own; s_riv; my_own; my_riv } } }
+
+let matches_prefix st ~round v = v land ((1 lsl (round + 1)) - 1) = st.prefix
+
+let make ~n ~bits : state Protocol.t =
+  if n < 1 then invalid_arg "Multivalued.make: n >= 1";
+  if bits < 1 || bits > 20 then invalid_arg "Multivalued.make: 1 <= bits <= 20";
+  {
+    name = Printf.sprintf "multi-%d-bit-%d" bits n;
+    description = "multivalued consensus: posts + one binary race per bit";
+    num_processes = n;
+    num_registers = n + (2 * n * bits);
+    init =
+      (fun ~pid ~input ->
+        let v = Value.to_int input in
+        if v < 0 || v >= 1 lsl bits then
+          invalid_arg "Multivalued.init: input out of range";
+        { me = pid; n; bits; cand = v; prefix = 0; phase = Post });
+    poised =
+      (fun st ->
+        match st.phase with
+        | Post -> Action.Write (post_reg st.me, Value.int st.cand)
+        | Racing { round; pref; race } ->
+          let v = if race.step < st.n then pref else 1 - pref in
+          Action.Read (race_slot ~n:st.n round v (race.step mod st.n))
+        | Bumping { round; pref; next } ->
+          Action.Write (race_slot ~n:st.n round pref st.me, Value.int next)
+        | Rescanning { idx; _ } -> Action.Read (post_reg idx)
+        | Deciding -> Action.Decide (Value.int st.cand));
+    on_read =
+      (fun st value ->
+        match st.phase with
+        | Racing { round; pref; race } -> race_read st ~round ~pref race value
+        | Rescanning { round; idx } ->
+          let adopt v =
+            (* adopted candidate matches the decided prefix; race on *)
+            let st = { st with cand = v } in
+            if round + 1 = st.bits then { st with phase = Deciding }
+            else
+              { st with
+                phase = Racing { round = round + 1; pref = bit v (round + 1); race = fresh_race }
+              }
+          in
+          (match value with
+           | Value.Int v when matches_prefix st ~round v -> adopt v
+           | _ ->
+             if idx + 1 >= st.n then
+               (* cannot happen in a legal execution: the winning bit's
+                  proposer posted a matching value before racing *)
+               invalid_arg "Multivalued: no posted value matches the decided prefix"
+             else { st with phase = Rescanning { round; idx = idx + 1 } })
+        | Post | Bumping _ | Deciding -> invalid_arg "Multivalued.on_read");
+    on_write =
+      (fun st ->
+        match st.phase with
+        | Post ->
+          { st with phase = Racing { round = 0; pref = bit st.cand 0; race = fresh_race } }
+        | Bumping { round; pref; _ } ->
+          { st with phase = Racing { round; pref; race = fresh_race } }
+        | Racing _ | Rescanning _ | Deciding -> invalid_arg "Multivalued.on_write");
+    on_swap = Protocol.no_swap;
+    on_flip = Protocol.no_flip;
+    pp_state =
+      (fun ppf st ->
+        let phase =
+          match st.phase with
+          | Post -> "post"
+          | Racing { round; _ } -> Printf.sprintf "race@%d" round
+          | Bumping { round; _ } -> Printf.sprintf "bump@%d" round
+          | Rescanning { round; _ } -> Printf.sprintf "rescan@%d" round
+          | Deciding -> "decide"
+        in
+        Fmt.pf ppf "⟨p%d cand=%d pfx=%d %s⟩" st.me st.cand st.prefix phase);
+  }

@@ -1,0 +1,23 @@
+(** Multivalued obstruction-free consensus from binary consensus.
+
+    The classic reduction: processes first post their inputs in
+    single-writer registers, then agree on the output bit by bit, running
+    one embedded binary racing-counters consensus per bit position.  A
+    process whose candidate disagrees with a decided bit rescans the posts
+    and adopts some posted value matching the decided prefix — one must
+    exist, because the winning bit was proposed by a process whose
+    candidate (itself a posted value) matched the prefix.
+
+    Agreement: the [bits] decided bits determine the value (inputs are
+    restricted to [0, 2^bits)).  Validity: candidates are always posted
+    inputs.  Obstruction-freedom is inherited from the embedded races.
+
+    Space: [n + 2·n·bits] registers ([n] posts plus one racing instance per
+    bit).  This is the standard Θ(n)-per-bit construction; the paper's
+    bound applies per instance (binary consensus is the special case
+    [bits = 1]). *)
+
+type state
+
+(** [make ~n ~bits] — inputs must be [Value.Int v] with [0 <= v < 2^bits]. *)
+val make : n:int -> bits:int -> state Ts_model.Protocol.t

@@ -1,0 +1,136 @@
+open Ts_model
+
+let slot ~n v i = (v * n) + i
+
+type phase =
+  | Scanning of {
+      step : int;  (* next slot to read, 0 .. 2n-1; < n means own counter *)
+      s_own : int;  (* sum of own-preference slots read so far *)
+      s_riv : int;  (* sum of rival slots read so far *)
+      my_own : int;  (* last read of our own slot in the own counter *)
+      my_riv : int;  (* last read of our own slot in the rival counter *)
+    }
+  | Tossing of { my_own : int; my_riv : int }
+      (* randomized variant only: tie observed, coin pending; the coin
+         picks which counter the next increment goes to *)
+  | Incrementing of int  (* pending write of this count to our pref slot *)
+  | Deciding
+
+type state = {
+  me : int;
+  n : int;
+  pref : int;  (* current preference, 0 or 1 *)
+  phase : phase;
+}
+
+let fresh_scan = Scanning { step = 0; s_own = 0; s_riv = 0; my_own = 0; my_riv = 0 }
+
+let init ~pid ~input =
+  let pref = Value.to_int input in
+  if pref <> 0 && pref <> 1 then
+    invalid_arg "Racing.init: input must be 0 or 1";
+  { me = pid; n = 0 (* patched by make *); pref; phase = fresh_scan }
+
+let count_of = function
+  | Value.Bot -> 0
+  | v -> Value.to_int v
+
+(* Which register the scan reads at [step]: own-preference slots first. *)
+let scan_target st step =
+  let v = if step < st.n then st.pref else 1 - st.pref in
+  let i = step mod st.n in
+  slot ~n:st.n v i
+
+let poised st =
+  match st.phase with
+  | Scanning s -> Action.Read (scan_target st s.step)
+  | Tossing _ -> Action.Flip
+  | Incrementing c -> Action.Write (slot ~n:st.n st.pref st.me, Value.int c)
+  | Deciding -> Action.Decide (Value.int st.pref)
+
+(* End-of-collect transition, shared by both variants. [tie_flips] selects
+   the randomized behaviour on exact ties. *)
+let finish_scan ~tie_flips st s_own s_riv my_own my_riv =
+  if s_own >= s_riv + st.n then { st with phase = Deciding }
+  else if s_riv > s_own then
+    { st with pref = 1 - st.pref; phase = Incrementing (my_riv + 1) }
+  else if tie_flips && s_own = s_riv && s_own > 0 then
+    (* Both counters positive and tied: both values are genuinely in play
+       (a positive counter traces back to some process's input, so the
+       coin cannot smuggle in a value nobody proposed — validity), and a
+       random increment gives the tie-breaking walk its drift. *)
+    { st with phase = Tossing { my_own; my_riv } }
+  else { st with phase = Incrementing (my_own + 1) }
+
+let on_read ~tie_flips st value =
+  match st.phase with
+  | Scanning s ->
+    let c = count_of value in
+    let own_phase = s.step < st.n in
+    let idx = s.step mod st.n in
+    let s_own = if own_phase then s.s_own + c else s.s_own in
+    let s_riv = if own_phase then s.s_riv else s.s_riv + c in
+    let my_own = if own_phase && idx = st.me then c else s.my_own in
+    let my_riv = if (not own_phase) && idx = st.me then c else s.my_riv in
+    if s.step = (2 * st.n) - 1 then
+      finish_scan ~tie_flips st s_own s_riv my_own my_riv
+    else
+      { st with phase = Scanning { step = s.step + 1; s_own; s_riv; my_own; my_riv } }
+  | Tossing _ | Incrementing _ | Deciding ->
+    invalid_arg "Racing.on_read: not poised to read"
+
+let on_write st =
+  match st.phase with
+  | Incrementing _ -> { st with phase = fresh_scan }
+  | Scanning _ | Tossing _ | Deciding ->
+    invalid_arg "Racing.on_write: not poised to write"
+
+let on_flip st outcome =
+  match st.phase with
+  | Tossing { my_own; my_riv } ->
+    (* The coin picks which counter to push: with an observed tie, an
+       increment of either side is justified (we are not strictly behind),
+       and actually incrementing is what makes the tie-breaking random
+       walk drift.  Our slot values in both counters were captured during
+       the scan, so the write value is known either way. *)
+    let chosen = if outcome then 1 else 0 in
+    if chosen = st.pref then { st with phase = Incrementing (my_own + 1) }
+    else { st with pref = chosen; phase = Incrementing (my_riv + 1) }
+  | Scanning _ | Incrementing _ | Deciding ->
+    invalid_arg "Racing.on_flip: not poised to flip"
+
+let pp_state ppf st =
+  let phase =
+    match st.phase with
+    | Scanning s -> Printf.sprintf "scan@%d(%d/%d)" s.step s.s_own s.s_riv
+    | Tossing _ -> "toss"
+    | Incrementing c -> Printf.sprintf "inc->%d" c
+    | Deciding -> "decide"
+  in
+  Fmt.pf ppf "⟨p%d pref=%d %s⟩" st.me st.pref phase
+
+let build ~n ~tie_flips ~name ~description : state Protocol.t =
+  if n < 1 then invalid_arg "Racing.make: n must be >= 1";
+  {
+    name;
+    description;
+    num_processes = n;
+    num_registers = 2 * n;
+    init = (fun ~pid ~input -> { (init ~pid ~input) with n });
+    poised;
+    on_read = on_read ~tie_flips;
+    on_write;
+    on_swap = Protocol.no_swap;
+    on_flip =
+      (if tie_flips then on_flip
+       else fun _ _ -> invalid_arg "Racing: deterministic variant flipped");
+    pp_state;
+  }
+
+let make ~n =
+  build ~n ~tie_flips:false ~name:(Printf.sprintf "racing-%d" n)
+    ~description:"obstruction-free racing-counters consensus (2n registers)"
+
+let make_randomized ~n =
+  build ~n ~tie_flips:true ~name:(Printf.sprintf "racing-rand-%d" n)
+    ~description:"randomized racing-counters consensus (local coin on ties)"

@@ -1,0 +1,40 @@
+(** Racing-counters binary consensus from registers.
+
+    The classic register-only consensus pattern (Chandra, PODC'96; see also
+    Aspnes' surveys): one monotone counter per value, each counter made of
+    [n] single-writer register slots.  A process repeatedly collects both
+    counters — its own preference's slots first, then the rival's — adopts
+    the rival value if it is strictly ahead, and otherwise increments its
+    preference's counter by writing its own slot.  It decides [v] once a
+    collect shows [c_v >= c_w + n].
+
+    Why the collect order matters: all slots are monotone, so when a collect
+    reads the preferred value's slots first (total [B]) and the rival's
+    second (total [A]), at the instant between the two phases the *actual*
+    counters satisfy [c_v >= B] and [c_w <= A].  An observed gap of [n] is
+    therefore a real gap of [n] at a single instant; after that instant each
+    other process can add at most one stale increment to the losing counter
+    before re-collecting and adopting the winner, so the gap never closes
+    and no process can ever observe the losing value ahead — agreement.
+
+    Space: [2n] registers, matching the Θ(n) upper bounds the paper cites
+    ([AH90], [AW96], [Zhu15] use between n and O(n)); the lower bound proved
+    by the paper is n−1.
+
+    The [randomized] variant flips a local coin to choose a preference when
+    a collect shows an exact tie; agreement is unaffected (a tie still
+    satisfies the "not strictly behind" requirement) and termination against
+    an oblivious scheduler becomes a biased random walk. *)
+
+type state
+
+(** [make ~n] is the deterministic obstruction-free instance for [n]
+    processes ([n >= 1]).  Inputs must be [Value.Int 0] or [Value.Int 1]. *)
+val make : n:int -> state Ts_model.Protocol.t
+
+(** [make_randomized ~n] additionally flips a coin on observed ties. *)
+val make_randomized : n:int -> state Ts_model.Protocol.t
+
+(** [slot ~n v i] is the register index of process [i]'s slot in value
+    [v]'s counter — exposed for tests. *)
+val slot : n:int -> int -> int -> int

@@ -1,0 +1,43 @@
+open Ts_model
+
+type state =
+  | Swapping of int  (* my input *)
+  | Decided_on of Value.t
+
+let make ~n ~name ~description : state Protocol.t =
+  {
+    name;
+    description;
+    num_processes = n;
+    num_registers = 1;
+    init = (fun ~pid:_ ~input -> Swapping (Value.to_int input));
+    poised =
+      (function
+        | Swapping v -> Action.Swap (0, Value.int v)
+        | Decided_on v -> Action.Decide v);
+    on_read = (fun _ _ -> invalid_arg "Swap_consensus.on_read");
+    on_write = (fun _ -> invalid_arg "Swap_consensus.on_write");
+    on_swap =
+      (fun st old ->
+        match st with
+        | Swapping mine ->
+          (* first swapper displaces ⊥ and wins; later swappers adopt the
+             value they displaced *)
+          Decided_on (if Value.is_bot old then Value.int mine else old)
+        | Decided_on _ -> invalid_arg "Swap_consensus.on_swap");
+    on_flip = Protocol.no_flip;
+    pp_state =
+      (fun ppf st ->
+        match st with
+        | Swapping v -> Fmt.pf ppf "⟨swap %d⟩" v
+        | Decided_on v -> Fmt.pf ppf "⟨decided %a⟩" Value.pp v);
+  }
+
+let two_process () =
+  make ~n:2 ~name:"swap-consensus-2"
+    ~description:"wait-free 2-process consensus from one swap register"
+
+let naive_chain ~n =
+  if n < 3 then invalid_arg "Swap_consensus.naive_chain: n >= 3";
+  make ~n ~name:(Printf.sprintf "swap-chain-%d" n)
+    ~description:"the 2-process swap rule, wrongly applied to n >= 3 (broken)"

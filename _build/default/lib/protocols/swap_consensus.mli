@@ -1,0 +1,25 @@
+(** Consensus from a single swap register (§4's primitive).
+
+    The paper's conclusion explains why its lower-bound technique does not
+    extend to historyless objects such as swap: a swapper sees the value it
+    displaced, so covered writes are no longer silently obliterable.  This
+    module makes that concrete with the classic protocols:
+
+    - {!two_process}: wait-free 2-process consensus from *one* swap
+      register: swap your input in; if you displaced ⊥ you were first and
+      decide your own value, otherwise decide what you displaced.  One
+      register — equal to the n − 1 = 1 register bound, but achieved with a
+      stronger primitive and wait-freedom (registers alone cannot even
+      solve it deterministically).
+
+    - {!naive_chain}: the same rule for n ≥ 3, which is *wrong* (swap has
+      consensus number exactly 2): the third swapper displaces the second's
+      value, not the first's.  Shipped as a negative control; the model
+      checker finds the agreement violation. *)
+
+type state
+
+val two_process : unit -> state Ts_model.Protocol.t
+
+(** [naive_chain ~n] for [n >= 3] — deliberately broken. *)
+val naive_chain : n:int -> state Ts_model.Protocol.t

@@ -1,0 +1,1 @@
+lib/runtime/atomic_run.ml: Action Array Atomic Domain Fmt List Protocol Rng Ts_model Unix Value

@@ -1,0 +1,1 @@
+lib/runtime/atomic_run.mli: Format Protocol Ts_model

@@ -1,0 +1,40 @@
+(** Multicore execution of protocol state machines over OCaml 5 atomics.
+
+    The simulator executes protocols under *chosen* schedules; this module
+    executes the very same [Protocol.t] state machines under *real*
+    OCaml 5 domains, with each shared register an [Atomic.t].  An atomic
+    [get]/[set] pair is exactly an asynchronous multi-writer atomic
+    register, so the protocol code is reused unchanged.
+
+    On this container (single hardware thread) domains interleave
+    preemptively rather than in parallel, which still exercises real
+    data races on the atomics; the experiment (E12) therefore reports
+    agreement/validity across trials and step counts, not parallel
+    speedup — see EXPERIMENTS.md. *)
+
+open Ts_model
+
+type stats = {
+  protocol : string;
+  trials : int;
+  agreement_failures : int;  (** trials with two different decisions *)
+  validity_failures : int;  (** trials deciding a non-input *)
+  timeouts : int;  (** processes that hit the step budget *)
+  total_steps : int;  (** across all trials and processes *)
+  max_process_steps : int;  (** worst single process *)
+  wall_seconds : float;
+}
+
+(** [run proto ~trials ~seed ~step_budget ~mixed_inputs] runs [trials]
+    full executions, one domain per process.  Inputs are random binary
+    values when [mixed_inputs], else all distinct-by-parity (process id
+    mod 2). *)
+val run :
+  's Protocol.t ->
+  trials:int ->
+  seed:int ->
+  step_budget:int ->
+  mixed_inputs:bool ->
+  stats
+
+val pp_stats : Format.formatter -> stats -> unit

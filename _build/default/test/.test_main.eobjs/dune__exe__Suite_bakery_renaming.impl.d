@@ -1,0 +1,1 @@
+test/suite_bakery_renaming.ml: Alcotest Arena Array Bakery Covering_search Fun Impl List Option Printf Renaming Rng Runner Shared_coin Tournament Ts_leader Ts_model Ts_mutex Ts_objects Value

@@ -1,0 +1,1 @@
+test/suite_checker.ml: Alcotest Array Broken Explore Format List Racing String Ts_checker Ts_model Ts_protocols Value

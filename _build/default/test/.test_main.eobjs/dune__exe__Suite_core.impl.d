@@ -1,0 +1,1 @@
+test/suite_core.ml: Action Alcotest Array Bounds Config Covering Execution Format Lemmas List Option Protocol Pset Racing String Theorem Ts_core Ts_model Ts_protocols Valency Value

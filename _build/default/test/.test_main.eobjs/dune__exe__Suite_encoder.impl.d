@@ -1,0 +1,1 @@
+test/suite_encoder.ml: Alcotest Algorithm Arena Array Bits Codec Gen List Peterson Printf QCheck QCheck_alcotest Rng Tas_lock Tournament Ts_core Ts_encoder Ts_model Ts_mutex

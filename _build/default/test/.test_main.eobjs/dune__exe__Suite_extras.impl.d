@@ -1,0 +1,1 @@
+test/suite_extras.ml: Alcotest Array Diagram List Printf Pset Racing Sim String Ts_core Ts_model Ts_mutex Ts_protocols Value

@@ -1,0 +1,1 @@
+test/suite_kset_multi.ml: Alcotest Array Config Dump Fmt Kset List Multivalued Printf Protocol Rng Sim Ts_checker Ts_model Ts_protocols Value

@@ -1,0 +1,1 @@
+test/suite_leader.ml: Alcotest Array Election Fun Impl List Option Printf Rng Runner Splitter Ts_leader Ts_model Ts_objects Value

@@ -1,0 +1,1 @@
+test/suite_linearize.ml: Alcotest Counter History Linearize List Snapshot Ts_model Ts_objects Value

@@ -1,0 +1,1 @@
+test/suite_model.ml: Action Alcotest Array Config Execution Fmt Fun List Option Protocol Pset QCheck QCheck_alcotest Rng Sim Ts_model Ts_protocols Value

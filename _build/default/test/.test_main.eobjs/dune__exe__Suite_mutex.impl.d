@@ -1,0 +1,1 @@
+test/suite_mutex.ml: Alcotest Algorithm Arena Array Fun List Peterson Printf Rng Tas_lock Tournament Ts_model Ts_mutex

@@ -1,0 +1,1 @@
+test/suite_objects.ml: Alcotest Counter Fun Hashtbl Impl Linearize List Maxreg Option Rng Runner Snapshot Ts_model Ts_objects Value

@@ -1,0 +1,1 @@
+test/suite_perturb.ml: Adversary Alcotest Format List String Ts_model Ts_objects Ts_perturb

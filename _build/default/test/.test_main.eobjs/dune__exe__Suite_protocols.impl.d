@@ -1,0 +1,1 @@
+test/suite_protocols.ml: Action Alcotest Array Broken Config Dump Execution Fmt List Printf Protocol Racing Rng Sim Ts_checker Ts_model Ts_protocols Value

@@ -1,0 +1,1 @@
+test/suite_pset.ml: Alcotest Gen List Pset QCheck QCheck_alcotest Ts_model

@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Alcotest Atomic_run Format Racing String Ts_protocols Ts_runtime

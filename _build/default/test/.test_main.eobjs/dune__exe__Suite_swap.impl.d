@@ -1,0 +1,1 @@
+test/suite_swap.ml: Action Alcotest Config Execution List Protocol Pset Swap_consensus Ts_checker Ts_core Ts_model Ts_protocols Ts_runtime Value

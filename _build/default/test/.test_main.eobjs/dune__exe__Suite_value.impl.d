@@ -1,0 +1,1 @@
+test/suite_value.ml: Alcotest Gen List QCheck QCheck_alcotest Ts_model Value

@@ -1,0 +1,79 @@
+(* The bounded model checker. *)
+open Ts_model
+open Ts_checker
+open Ts_protocols
+
+let test_binary_inputs () =
+  Alcotest.(check int) "2^3 vectors" 8 (List.length (Explore.binary_inputs 3));
+  let all = Explore.binary_inputs 2 in
+  Alcotest.(check bool) "vectors distinct" true
+    (List.length (List.sort_uniq compare (List.map Array.to_list all)) = 4);
+  List.iter
+    (fun v -> Array.iter (fun x -> Alcotest.(check bool) "binary" true (Value.to_int x < 2)) v)
+    all
+
+let test_stats_reported () =
+  let r =
+    Explore.check_consensus (Racing.make ~n:2)
+      ~inputs_list:[ [| Value.int 0; Value.int 1 |] ]
+      ~max_configs:2_000 ~max_depth:25 ~solo_budget:100 ~check_solo:false
+  in
+  Alcotest.(check bool) "explored some" true (r.Explore.stats.Explore.configs_explored > 100);
+  Alcotest.(check bool) "truncated (racing is infinite-state)" true r.Explore.stats.Explore.truncated;
+  Alcotest.(check bool) "depth recorded" true (r.Explore.stats.Explore.deepest > 5)
+
+let test_tiny_exhaustive_not_truncated () =
+  (* the constant protocol has a tiny graph: exploration completes *)
+  let r =
+    Explore.check_consensus (Broken.oblivious_seven ~n:2)
+      ~inputs_list:[ [| Value.int 7; Value.int 7 |] ]
+      ~max_configs:1_000 ~max_depth:20 ~solo_budget:10 ~check_solo:true
+  in
+  (* inputs are 7 so deciding 7 is valid here; graph is finite *)
+  Alcotest.(check bool) "verdict ok" true (r.Explore.verdict = Ok ());
+  Alcotest.(check bool) "not truncated" false r.Explore.stats.Explore.truncated
+
+let test_first_violation_stops_search () =
+  let r =
+    Explore.check_consensus (Broken.last_write_wins ~n:2)
+      ~inputs_list:(Explore.binary_inputs 2) ~max_configs:100_000 ~max_depth:30
+      ~solo_budget:50 ~check_solo:false
+  in
+  match r.Explore.verdict with
+  | Error (Explore.Agreement_violation { values; _ }) ->
+    Alcotest.(check int) "two values decided" 2 (List.length values)
+  | _ -> Alcotest.fail "expected agreement violation"
+
+let test_solo_check_flag () =
+  (* with check_solo:false the insomniac passes; with true it is caught *)
+  let run check_solo =
+    (Explore.check_consensus (Broken.insomniac ~n:2)
+       ~inputs_list:[ [| Value.int 0; Value.int 0 |] ]
+       ~max_configs:100 ~max_depth:10 ~solo_budget:50 ~check_solo)
+      .Explore.verdict
+  in
+  Alcotest.(check bool) "lenient without solo check" true (run false = Ok ());
+  Alcotest.(check bool) "caught with solo check" true (run true <> Ok ())
+
+let test_violation_pp () =
+  let r =
+    Explore.check_consensus (Broken.oblivious_seven ~n:2)
+      ~inputs_list:[ [| Value.int 0; Value.int 0 |] ]
+      ~max_configs:100 ~max_depth:10 ~solo_budget:10 ~check_solo:false
+  in
+  match r.Explore.verdict with
+  | Error v ->
+    let s = Format.asprintf "%a" Explore.pp_violation v in
+    Alcotest.(check bool) "violation prints" true (String.length s > 10)
+  | Ok () -> Alcotest.fail "expected validity violation"
+
+let suite =
+  ( "checker",
+    [
+      Alcotest.test_case "binary input vectors" `Quick test_binary_inputs;
+      Alcotest.test_case "stats reported" `Quick test_stats_reported;
+      Alcotest.test_case "finite graphs fully explored" `Quick test_tiny_exhaustive_not_truncated;
+      Alcotest.test_case "first violation stops search" `Quick test_first_violation_stops_search;
+      Alcotest.test_case "solo check flag" `Quick test_solo_check_flag;
+      Alcotest.test_case "violation pretty-printing" `Quick test_violation_pp;
+    ] )

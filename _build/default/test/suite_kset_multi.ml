@@ -1,0 +1,168 @@
+(* k-set agreement and multivalued consensus (the §4 extensions). *)
+open Ts_model
+open Ts_protocols
+module E = Ts_checker.Explore
+
+let test_group_layout () =
+  Alcotest.(check int) "group of p5, k=2" 1 (Kset.group ~k:2 5);
+  Alcotest.(check int) "rank of p5, k=2" 2 (Kset.group_rank ~k:2 5);
+  Alcotest.(check int) "group 0 size, n=5 k=2" 3 (Kset.group_size ~n:5 ~k:2 0);
+  Alcotest.(check int) "group 1 size, n=5 k=2" 2 (Kset.group_size ~n:5 ~k:2 1);
+  Alcotest.(check int) "registers" 10 (Kset.make ~n:5 ~k:2).Protocol.num_registers
+
+let test_kset_arity_checks () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Kset.make: need 1 <= k <= n") (fun () ->
+      ignore (Kset.make ~n:3 ~k:0));
+  Alcotest.check_raises "k>n" (Invalid_argument "Kset.make: need 1 <= k <= n") (fun () ->
+      ignore (Kset.make ~n:3 ~k:4))
+
+let test_kset_solo () =
+  (* a solo process decides its own input whatever its group *)
+  List.iter
+    (fun p ->
+      let proto = Kset.make ~n:5 ~k:2 in
+      let inputs = Array.init 5 (fun q -> Value.int (if q = p then 1 else 0)) in
+      let o = Sim.run proto ~inputs ~policy:(Sim.Solo p) ~flips:(fun () -> true) ~budget:50_000 in
+      Alcotest.(check bool) "solo decides own input" true
+        (o.Sim.decisions = [ p, Value.int 1 ]))
+    [ 0; 1; 4 ]
+
+let test_kset_at_most_k_values () =
+  (* random runs: every process decides; at most k distinct values;
+     all decided values are inputs *)
+  List.iter
+    (fun (n, k) ->
+      let proto = Kset.make ~n ~k in
+      for seed = 1 to 15 do
+        let rng = Rng.create (seed * 53) in
+        let inputs = Array.init n (fun _ -> Value.int (Rng.int rng 2)) in
+        let o =
+          Sim.run proto ~inputs ~policy:(Sim.Random rng) ~flips:(fun () -> true)
+            ~budget:500_000
+        in
+        Alcotest.(check bool) "all decide" true (List.length o.Sim.decisions = n);
+        let decided = List.sort_uniq Value.compare (List.map snd o.Sim.decisions) in
+        Alcotest.(check bool) "at most k values" true (List.length decided <= k);
+        List.iter
+          (fun v -> Alcotest.(check bool) "valid" true (Sim.valid ~inputs v))
+          decided
+      done)
+    [ 3, 2; 4, 2; 5, 3; 6, 2 ]
+
+let test_kset_group_agreement () =
+  (* within a group everyone agrees (each group runs consensus) *)
+  let n = 6 and k = 2 in
+  let proto = Kset.make ~n ~k in
+  let rng = Rng.create 77 in
+  let inputs = Array.init n (fun p -> Value.int (p mod 2)) in
+  let o = Sim.run proto ~inputs ~policy:(Sim.Random rng) ~flips:(fun () -> true) ~budget:500_000 in
+  List.iter
+    (fun g ->
+      let group_decisions =
+        List.filter (fun (p, _) -> Kset.group ~k p = g) o.Sim.decisions |> List.map snd
+      in
+      Alcotest.(check int) "group agrees" 1
+        (List.length (List.sort_uniq Value.compare group_decisions)))
+    [ 0; 1 ]
+
+let test_kset_model_checked () =
+  let r =
+    E.check_set_agreement ~k:2 (Kset.make ~n:3 ~k:2) ~inputs_list:(E.binary_inputs 3)
+      ~max_configs:12_000 ~max_depth:25 ~solo_budget:150 ~check_solo:true
+  in
+  match r.E.verdict with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "kset violation: %a" E.pp_violation v
+
+let test_kset_is_not_consensus () =
+  (* with k = 2 groups, the k = 1 checker must find two decided values *)
+  let r =
+    E.check_consensus (Kset.make ~n:3 ~k:2) ~inputs_list:(E.binary_inputs 3)
+      ~max_configs:12_000 ~max_depth:25 ~solo_budget:150 ~check_solo:false
+  in
+  match r.E.verdict with
+  | Error (E.Agreement_violation _) -> ()
+  | _ -> Alcotest.fail "partitioned protocol should not pass the consensus checker"
+
+let test_kset_k1_is_consensus () =
+  (* k = 1 degenerates to plain racing consensus *)
+  let r =
+    E.check_consensus (Kset.make ~n:2 ~k:1) ~inputs_list:(E.binary_inputs 2)
+      ~max_configs:12_000 ~max_depth:25 ~solo_budget:150 ~check_solo:true
+  in
+  match r.E.verdict with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "kset k=1 violation: %a" E.pp_violation v
+
+let test_multi_rejects_bad_params () =
+  Alcotest.check_raises "bits 0" (Invalid_argument "Multivalued.make: 1 <= bits <= 20")
+    (fun () -> ignore (Multivalued.make ~n:2 ~bits:0));
+  Alcotest.check_raises "input range" (Invalid_argument "Multivalued.init: input out of range")
+    (fun () ->
+      ignore (Config.initial (Multivalued.make ~n:2 ~bits:2) ~inputs:[| Value.int 4; Value.int 0 |]))
+
+let test_multi_solo () =
+  List.iter
+    (fun v ->
+      let proto = Multivalued.make ~n:3 ~bits:3 in
+      let inputs = [| Value.int v; Value.int ((v + 1) mod 8); Value.int ((v + 2) mod 8) |] in
+      let o = Sim.run proto ~inputs ~policy:(Sim.Solo 0) ~flips:(fun () -> true) ~budget:100_000 in
+      Alcotest.(check bool) (Printf.sprintf "solo decides %d" v) true
+        (o.Sim.decisions = [ 0, Value.int v ]))
+    [ 0; 3; 5; 7 ]
+
+let test_multi_agreement_random () =
+  List.iter
+    (fun (n, bits) ->
+      let proto = Multivalued.make ~n ~bits in
+      for seed = 1 to 15 do
+        let rng = Rng.create (seed * 17) in
+        let inputs = Array.init n (fun _ -> Value.int (Rng.int rng (1 lsl bits))) in
+        let o =
+          Sim.run proto ~inputs ~policy:(Sim.Random rng) ~flips:(fun () -> true)
+            ~budget:1_000_000
+        in
+        Alcotest.(check bool) "finished" false o.Sim.ran_out;
+        match Sim.agreement o with
+        | Ok v -> Alcotest.(check bool) "valid" true (Sim.valid ~inputs v)
+        | Error vs ->
+          Alcotest.failf "multivalued disagreement: %a" Fmt.(Dump.list Value.pp) vs
+      done)
+    [ 2, 2; 3, 3; 4, 4 ]
+
+let test_multi_register_count () =
+  Alcotest.(check int) "n + 2nb" (3 + (2 * 3 * 4))
+    (Multivalued.make ~n:3 ~bits:4).Protocol.num_registers
+
+let test_multi_model_checked_small () =
+  (* bounded exhaustive check of n=2, bits=2 over all 16 input vectors *)
+  let proto = Multivalued.make ~n:2 ~bits:2 in
+  let inputs_list =
+    List.concat_map (fun a -> List.map (fun b -> [| Value.int a; Value.int b |]) [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  let r =
+    E.check_consensus proto ~inputs_list ~max_configs:8_000 ~max_depth:25
+      ~solo_budget:300 ~check_solo:true
+  in
+  match r.E.verdict with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "multivalued violation: %a" E.pp_violation v
+
+let suite =
+  ( "kset-multivalued",
+    [
+      Alcotest.test_case "kset: group layout" `Quick test_group_layout;
+      Alcotest.test_case "kset: arity checks" `Quick test_kset_arity_checks;
+      Alcotest.test_case "kset: solo decides own input" `Quick test_kset_solo;
+      Alcotest.test_case "kset: at most k values, all valid" `Quick test_kset_at_most_k_values;
+      Alcotest.test_case "kset: intra-group agreement" `Quick test_kset_group_agreement;
+      Alcotest.test_case "kset: model-checked (k=2, n=3)" `Slow test_kset_model_checked;
+      Alcotest.test_case "kset: k=2 is not consensus" `Quick test_kset_is_not_consensus;
+      Alcotest.test_case "kset: k=1 is consensus" `Quick test_kset_k1_is_consensus;
+      Alcotest.test_case "multi: parameter validation" `Quick test_multi_rejects_bad_params;
+      Alcotest.test_case "multi: solo decides own input" `Quick test_multi_solo;
+      Alcotest.test_case "multi: random agreement+validity" `Quick test_multi_agreement_random;
+      Alcotest.test_case "multi: register count" `Quick test_multi_register_count;
+      Alcotest.test_case "multi: model-checked (n=2, bits=2)" `Slow test_multi_model_checked_small;
+    ] )

@@ -1,0 +1,89 @@
+(* Process sets: bit-mask sets checked against a list model. *)
+open Ts_model
+
+let arb_pids = QCheck.(list_of_size Gen.(0 -- 10) (int_bound 20))
+
+let model_of ps = List.sort_uniq compare ps
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (Pset.is_empty Pset.empty);
+  Alcotest.(check int) "cardinal" 0 (Pset.cardinal Pset.empty);
+  Alcotest.(check (list int)) "to_list" [] (Pset.to_list Pset.empty)
+
+let test_singleton () =
+  let s = Pset.singleton 5 in
+  Alcotest.(check bool) "mem" true (Pset.mem 5 s);
+  Alcotest.(check bool) "not mem" false (Pset.mem 4 s);
+  Alcotest.(check int) "cardinal" 1 (Pset.cardinal s)
+
+let test_range_all () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Pset.to_list (Pset.range 2 4));
+  Alcotest.(check (list int)) "empty range" [] (Pset.to_list (Pset.range 4 2));
+  Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (Pset.to_list (Pset.all 3))
+
+let test_set_algebra () =
+  let a = Pset.of_list [ 0; 1; 2 ] and b = Pset.of_list [ 2; 3 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2; 3 ] (Pset.to_list (Pset.union a b));
+  Alcotest.(check (list int)) "inter" [ 2 ] (Pset.to_list (Pset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 1 ] (Pset.to_list (Pset.diff a b));
+  Alcotest.(check bool) "subset yes" true (Pset.subset (Pset.of_list [ 1; 2 ]) a);
+  Alcotest.(check bool) "subset no" false (Pset.subset b a)
+
+let test_choose () =
+  Alcotest.(check int) "choose smallest" 3 (Pset.choose (Pset.of_list [ 7; 3; 5 ]));
+  Alcotest.check_raises "choose empty" (Invalid_argument "Pset.choose: empty set")
+    (fun () -> ignore (Pset.choose Pset.empty))
+
+let test_bounds () =
+  Alcotest.check_raises "pid 63 rejected" (Invalid_argument "Pset: pid out of [0,62]")
+    (fun () -> ignore (Pset.singleton 63));
+  Alcotest.check_raises "negative pid rejected" (Invalid_argument "Pset: pid out of [0,62]")
+    (fun () -> ignore (Pset.add (-1) Pset.empty))
+
+let test_iterators () =
+  let s = Pset.of_list [ 1; 4; 9 ] in
+  Alcotest.(check int) "fold sum" 14 (Pset.fold (fun p acc -> p + acc) s 0);
+  Alcotest.(check bool) "for_all" true (Pset.for_all (fun p -> p > 0) s);
+  Alcotest.(check bool) "exists" true (Pset.exists (fun p -> p = 4) s);
+  Alcotest.(check (list int)) "filter" [ 4 ] (Pset.to_list (Pset.filter (fun p -> p mod 2 = 0) s))
+
+let prop_of_to_list =
+  QCheck.Test.make ~name:"of_list/to_list is sorted dedup" ~count:500 arb_pids
+    (fun ps -> Pset.to_list (Pset.of_list ps) = model_of ps)
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal matches model" ~count:500 arb_pids (fun ps ->
+      Pset.cardinal (Pset.of_list ps) = List.length (model_of ps))
+
+let prop_union_model =
+  QCheck.Test.make ~name:"union matches model" ~count:500
+    (QCheck.pair arb_pids arb_pids) (fun (a, b) ->
+      Pset.to_list (Pset.union (Pset.of_list a) (Pset.of_list b)) = model_of (a @ b))
+
+let prop_diff_inter_partition =
+  QCheck.Test.make ~name:"diff and inter partition the set" ~count:500
+    (QCheck.pair arb_pids arb_pids) (fun (a, b) ->
+      let sa = Pset.of_list a and sb = Pset.of_list b in
+      Pset.equal sa (Pset.union (Pset.diff sa sb) (Pset.inter sa sb)))
+
+let prop_remove_not_mem =
+  QCheck.Test.make ~name:"remove then not mem" ~count:500
+    (QCheck.pair (QCheck.int_bound 20) arb_pids) (fun (p, ps) ->
+      not (Pset.mem p (Pset.remove p (Pset.of_list ps))))
+
+let suite =
+  ( "pset",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "singleton" `Quick test_singleton;
+      Alcotest.test_case "range/all" `Quick test_range_all;
+      Alcotest.test_case "set algebra" `Quick test_set_algebra;
+      Alcotest.test_case "choose" `Quick test_choose;
+      Alcotest.test_case "pid bounds" `Quick test_bounds;
+      Alcotest.test_case "iterators" `Quick test_iterators;
+      QCheck_alcotest.to_alcotest prop_of_to_list;
+      QCheck_alcotest.to_alcotest prop_cardinal;
+      QCheck_alcotest.to_alcotest prop_union_model;
+      QCheck_alcotest.to_alcotest prop_diff_inter_partition;
+      QCheck_alcotest.to_alcotest prop_remove_not_mem;
+    ] )

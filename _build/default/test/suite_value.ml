@@ -1,0 +1,98 @@
+(* Values: the register universe. *)
+open Ts_model
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let arb_value =
+  let open QCheck in
+  let base =
+    oneof [ always Value.bot; map Value.int small_signed_int; map Value.bool bool ]
+  in
+  let rec build depth =
+    if depth = 0 then base
+    else
+      oneof
+        [
+          base;
+          map (fun (a, b) -> Value.pair a b) (pair (build (depth - 1)) (build (depth - 1)));
+          map Value.list (list_of_size Gen.(0 -- 3) (build (depth - 1)));
+        ]
+  in
+  build 2
+
+let test_constructors () =
+  Alcotest.check v "int" (Value.Int 4) (Value.int 4);
+  Alcotest.check v "bool" (Value.Bool true) (Value.bool true);
+  Alcotest.check v "pair" (Value.Pair (Value.Int 1, Value.Bot)) (Value.pair (Value.int 1) Value.bot);
+  Alcotest.check v "list" (Value.List [ Value.Int 1 ]) (Value.list [ Value.int 1 ])
+
+let test_projections () =
+  Alcotest.(check int) "to_int" 7 (Value.to_int (Value.int 7));
+  Alcotest.(check bool) "to_bool" true (Value.to_bool (Value.bool true));
+  let a, b = Value.to_pair (Value.pair (Value.int 1) (Value.int 2)) in
+  Alcotest.check v "fst" (Value.int 1) a;
+  Alcotest.check v "snd" (Value.int 2) b;
+  Alcotest.(check int) "list len" 2 (List.length (Value.to_list (Value.list [ Value.bot; Value.bot ])))
+
+let test_projection_failures () =
+  Alcotest.check_raises "to_int of bot" (Invalid_argument "Value.to_int: non-int") (fun () ->
+      ignore (Value.to_int Value.bot));
+  Alcotest.check_raises "to_bool of int" (Invalid_argument "Value.to_bool: non-bool") (fun () ->
+      ignore (Value.to_bool (Value.int 1)));
+  Alcotest.check_raises "to_pair of int" (Invalid_argument "Value.to_pair: non-pair") (fun () ->
+      ignore (Value.to_pair (Value.int 1)));
+  Alcotest.check_raises "to_list of int" (Invalid_argument "Value.to_list: non-list") (fun () ->
+      ignore (Value.to_list (Value.int 1)))
+
+let test_is_bot () =
+  Alcotest.(check bool) "bot" true (Value.is_bot Value.bot);
+  Alcotest.(check bool) "int" false (Value.is_bot (Value.int 0))
+
+let test_ordering () =
+  (* Bot < Int < Bool < Pair < List across constructors *)
+  Alcotest.(check bool) "bot smallest" true (Value.compare Value.bot (Value.int (-100)) < 0);
+  Alcotest.(check bool) "int < bool" true (Value.compare (Value.int 999) (Value.bool false) < 0);
+  Alcotest.(check bool) "bool < pair" true
+    (Value.compare (Value.bool true) (Value.pair Value.bot Value.bot) < 0);
+  Alcotest.(check bool) "pair < list" true
+    (Value.compare (Value.pair Value.bot Value.bot) (Value.list []) < 0)
+
+let test_pp () =
+  Alcotest.(check string) "pp bot" "⊥" (Value.to_string Value.bot);
+  Alcotest.(check string) "pp pair" "(1,true)"
+    (Value.to_string (Value.pair (Value.int 1) (Value.bool true)));
+  Alcotest.(check string) "pp list" "[1;2]"
+    (Value.to_string (Value.list [ Value.int 1; Value.int 2 ]))
+
+let prop_equal_refl =
+  QCheck.Test.make ~name:"equal is reflexive" ~count:300 arb_value (fun x ->
+      Value.equal x x)
+
+let prop_compare_equal_agree =
+  QCheck.Test.make ~name:"compare = 0 iff equal" ~count:300
+    (QCheck.pair arb_value arb_value) (fun (x, y) ->
+      Value.equal x y = (Value.compare x y = 0))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:300
+    (QCheck.pair arb_value arb_value) (fun (x, y) ->
+      compare (Value.compare x y) 0 = -compare (Value.compare y x) 0)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equal" ~count:300 arb_value (fun x ->
+      Value.hash x = Value.hash x)
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "constructors" `Quick test_constructors;
+      Alcotest.test_case "projections" `Quick test_projections;
+      Alcotest.test_case "projection failures" `Quick test_projection_failures;
+      Alcotest.test_case "is_bot" `Quick test_is_bot;
+      Alcotest.test_case "cross-constructor ordering" `Quick test_ordering;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+      QCheck_alcotest.to_alcotest prop_equal_refl;
+      QCheck_alcotest.to_alcotest prop_compare_equal_agree;
+      QCheck_alcotest.to_alcotest prop_compare_antisym;
+      QCheck_alcotest.to_alcotest prop_hash_consistent;
+    ] )

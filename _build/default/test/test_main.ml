@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "tightspace"
+    [
+      Suite_value.suite;
+      Suite_pset.suite;
+      Suite_model.suite;
+      Suite_protocols.suite;
+      Suite_checker.suite;
+      Suite_core.suite;
+      Suite_objects.suite;
+      Suite_linearize.suite;
+      Suite_perturb.suite;
+      Suite_mutex.suite;
+      Suite_encoder.suite;
+      Suite_leader.suite;
+      Suite_kset_multi.suite;
+      Suite_swap.suite;
+      Suite_extras.suite;
+      Suite_bakery_renaming.suite;
+      Suite_props.suite;
+      Suite_runtime.suite;
+    ]
