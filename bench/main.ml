@@ -1,5 +1,10 @@
 (* Benchmark harness: prints every experiment table (E1-E14), then runs one
-   bechamel timing per table so the engine's throughput is tracked too. *)
+   bechamel timing per table so the engine's throughput is tracked too.
+
+   --tables-only   skip the bechamel timings (CI smoke mode)
+   --bench-only    skip the tables, only time the engine
+   --deep          larger n for the tables
+   --json FILE     also write the bechamel OLS estimates to FILE as JSON *)
 open Bechamel
 open Toolkit
 open Ts_model
@@ -72,7 +77,58 @@ let bechamel_tests () =
                   ~max_depth:30 ~solo_budget:50 ~check_solo:false)));
   ]
 
-let run_bechamel () =
+(* Search-engine observability: run the e14 and e5/e6 workloads once more
+   outside the timer and print the counters the engine kept. *)
+let engine_stats () =
+  Format.printf "@.%s@.Search-engine counters (one untimed run of the core workloads)@.%s@."
+    (String.make 78 '-') (String.make 78 '-');
+  let module E = Ts_checker.Explore in
+  let r =
+    E.check_consensus (Broken.last_write_wins ~n:2)
+      ~inputs_list:(E.binary_inputs 2) ~max_configs:10_000 ~max_depth:30
+      ~solo_budget:50 ~check_solo:false
+  in
+  Format.printf "  explore broken-2:  %a@." E.pp_stats r.E.stats;
+  let proto = Racing.make ~n:3 in
+  let t = Valency.create proto ~horizon:60 in
+  let i0 = Config.initial proto ~inputs:[| Value.int 0; Value.int 1; Value.int 0 |] in
+  ignore (Theorem.lemma4 t i0 (Pset.all 3));
+  Format.printf "  lemma4 racing-3:   %a@." Valency.pp_stats (Valency.stats t)
+
+(* Minimal JSON escaping for benchmark names (alphanumeric + dashes in
+   practice, but be safe). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file results =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"harness\": \"tightspace-bench\",\n";
+  p "  \"unit\": \"ns/run\",\n";
+  p "  \"estimator\": \"bechamel OLS, monotonic clock\",\n";
+  p "  \"results\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      p "    \"%s\": %.1f%s\n" (json_escape name) est
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." file
+
+let run_bechamel ~json () =
   Format.printf "@.%s@.Bechamel timings (one per table; OLS ns/run over a short quota)@.%s@."
     (String.make 78 '-') (String.make 78 '-');
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -85,20 +141,35 @@ let run_bechamel () =
   match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
   | None -> Format.printf "no clock results?@."
   | Some tbl ->
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
-    |> List.sort compare
-    |> List.iter (fun (name, ols) ->
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] -> Format.printf "  %-42s %12.0f ns/run@." name est
-        | Some _ | None -> Format.printf "  %-42s (no estimate)@." name)
+    let estimates =
+      Hashtbl.fold
+        (fun name ols acc ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> (name, est) :: acc
+          | Some _ | None -> acc)
+        tbl []
+      |> List.sort compare
+    in
+    List.iter (fun (name, est) -> Format.printf "  %-42s %12.0f ns/run@." name est) estimates;
+    Option.iter (fun file -> write_json file estimates) json
+
+(* Poor man's argv parsing: flags plus one optional "--json FILE" pair. *)
+let rec find_json = function
+  | "--json" :: file :: _ -> Some file
+  | _ :: rest -> find_json rest
+  | [] -> None
 
 let () =
   let args = Array.to_list Sys.argv in
   let tables_only = List.mem "--tables-only" args in
   let bench_only = List.mem "--bench-only" args in
+  let json = find_json args in
   let max_n = if List.mem "--deep" args then 4 else 3 in
   Format.printf "tightspace benchmark harness — reproduction of Zhu, 'A Tight Space Bound@.";
   Format.printf "for Consensus' (PODC'16 BA / STOC'16), plus the JTT and Fan-Lynch bounds.@.";
   if not bench_only then Tables.all ~max_n ();
-  if not tables_only then run_bechamel ();
+  if not tables_only then begin
+    engine_stats ();
+    run_bechamel ~json ()
+  end;
   Format.printf "@.done.@."

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# CI entry point: full build, test suite, and a bench smoke run.
+# Assumes an opam switch with OCaml >= 5.1 and the repo's dependencies
+# (fmt, logs, cmdliner, alcotest, qcheck(-alcotest,-core), bechamel)
+# already installed — see README "Install & run".
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (tables only, no timings) =="
+dune exec bench/main.exe -- --tables-only > /dev/null
+
+echo "ci: ok"

@@ -9,84 +9,136 @@ type stats = {
   configs_explored : int;
   truncated : bool;
   deepest : int;
+  table_hits : int;
+  table_misses : int;
+  peak_frontier : int;
+  solo_cache_hits : int;
+  solo_cache_misses : int;
 }
+
+let empty_stats =
+  {
+    configs_explored = 0;
+    truncated = false;
+    deepest = 0;
+    table_hits = 0;
+    table_misses = 0;
+    peak_frontier = 0;
+    solo_cache_hits = 0;
+    solo_cache_misses = 0;
+  }
+
+let merge_stats a b =
+  {
+    configs_explored = a.configs_explored + b.configs_explored;
+    truncated = a.truncated || b.truncated;
+    deepest = max a.deepest b.deepest;
+    table_hits = a.table_hits + b.table_hits;
+    table_misses = a.table_misses + b.table_misses;
+    peak_frontier = max a.peak_frontier b.peak_frontier;
+    solo_cache_hits = a.solo_cache_hits + b.solo_cache_hits;
+    solo_cache_misses = a.solo_cache_misses + b.solo_cache_misses;
+  }
 
 type result = {
   verdict : (unit, violation) Stdlib.result;
   stats : stats;
 }
 
+(* Mutable per-search counter block, folded into a [stats] at the end. *)
+type counters = {
+  mutable explored : int;
+  mutable trunc : bool;
+  mutable deep : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable peak : int;
+  mutable solo_hits : int;
+  mutable solo_misses : int;
+}
+
+let fresh_counters () =
+  { explored = 0; trunc = false; deep = 0; hits = 0; misses = 0; peak = 0;
+    solo_hits = 0; solo_misses = 0 }
+
+let stats_of_counters c =
+  {
+    configs_explored = c.explored;
+    truncated = c.trunc;
+    deepest = c.deep;
+    table_hits = c.hits;
+    table_misses = c.misses;
+    peak_frontier = c.peak;
+    solo_cache_hits = c.solo_hits;
+    solo_cache_misses = c.solo_misses;
+  }
+
 (* Can [p], running alone from [cfg], decide within [budget] steps for some
    resolution of its coin flips?  BFS over coin outcomes with a visited set
-   (BFS + visited is complete for "reachable within budget"). *)
-let solo_can_decide proto cfg p ~budget ~cache =
-  match Hashtbl.find_opt cache (cfg, p) with
-  | Some r -> r
+   (BFS + visited is complete for "reachable within budget").  Both the
+   memo and the visited table key by the packed configuration. *)
+let solo_can_decide proto pk cfg p ~budget ~cache ~counters =
+  let key = Ckey.Salted.make (Ckey.pack pk cfg) p in
+  match Ckey.Salted_tbl.find_opt cache key with
+  | Some r ->
+    counters.solo_hits <- counters.solo_hits + 1;
+    r
   | None ->
-  let visited = Hashtbl.create 64 in
-  let q = Queue.create () in
-  Queue.add (cfg, 0) q;
-  Hashtbl.replace visited cfg ();
-  let found = ref false in
-  (try
-     while not (Queue.is_empty q) do
-       let cfg, depth = Queue.pop q in
-       (match Config.has_decided cfg p with
-        | Some _ ->
-          found := true;
-          raise Exit
-        | None -> ());
-       if depth < budget then
-         let push cfg' =
-           if not (Hashtbl.mem visited cfg') then begin
-             Hashtbl.replace visited cfg' ();
-             Queue.add (cfg', depth + 1) q
-           end
-         in
-         match Config.poised proto cfg p with
-         | None -> ()
-         | Some Action.Flip ->
-           push (fst (Config.step proto cfg p ~coin:(Some true)));
-           push (fst (Config.step proto cfg p ~coin:(Some false)))
-         | Some _ -> push (fst (Config.step proto cfg p ~coin:None))
-     done
-   with Exit -> ());
-  Hashtbl.replace cache (cfg, p) !found;
-  !found
+    counters.solo_misses <- counters.solo_misses + 1;
+    let visited = Ckey.Tbl.create 64 in
+    let q = Queue.create () in
+    Queue.add (cfg, 0) q;
+    Ckey.Tbl.replace visited (Ckey.pack pk cfg) ();
+    let found = ref false in
+    (try
+       while not (Queue.is_empty q) do
+         let cfg, depth = Queue.pop q in
+         (match Config.has_decided cfg p with
+          | Some _ ->
+            found := true;
+            raise Exit
+          | None -> ());
+         if depth < budget then
+           let push cfg' =
+             let k = Ckey.pack pk cfg' in
+             if not (Ckey.Tbl.mem visited k) then begin
+               Ckey.Tbl.replace visited k ();
+               Queue.add (cfg', depth + 1) q
+             end
+           in
+           match Config.poised proto cfg p with
+           | None -> ()
+           | Some Action.Flip ->
+             push (fst (Config.step proto cfg p ~coin:(Some true)));
+             push (fst (Config.step proto cfg p ~coin:(Some false)))
+           | Some _ -> push (fst (Config.step proto cfg p ~coin:None))
+       done
+     with Exit -> ());
+    Ckey.Salted_tbl.replace cache key !found;
+    !found
 
 exception Found of violation
 
-(* Successor configurations of [cfg]: one per undecided process, two for a
-   process poised to flip. *)
-let successors proto cfg =
-  let n = proto.Protocol.num_processes in
-  let acc = ref [] in
-  for p = n - 1 downto 0 do
-    match Config.poised proto cfg p with
-    | None -> ()
-    | Some Action.Flip ->
-      List.iter
-        (fun b ->
-          let cfg', _ = Config.step proto cfg p ~coin:(Some b) in
-          acc := (Execution.flip p b, cfg') :: !acc)
-        [ true; false ]
-    | Some _ ->
-      let cfg', _ = Config.step proto cfg p ~coin:None in
-      acc := (Execution.ev p, cfg') :: !acc
-  done;
-  !acc
-
-let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
-    ~explored ~truncated ~deepest =
-  let module H = Hashtbl in
-  let solo_cache = H.create 4096 in
-  let visited = H.create 4096 in
-  let key cfg = cfg in
+(* One input vector's search, self-contained: its own packer, tables,
+   budget and counters.  This is the unit of parallelism — runs of
+   different input vectors share nothing, so fanning them out over domains
+   produces bit-identical verdicts and stats. *)
+let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo =
+  let pk = Ckey.packer proto in
+  let counters = fresh_counters () in
+  (* sized to the budget, not a fixed large block: small searches (few
+     dozen configurations per input vector) shouldn't pay for 4096-bucket
+     tables they never fill *)
+  let table_size = max 64 (min 4096 (max_configs / 8)) in
+  let solo_cache = Ckey.Salted_tbl.create (if check_solo then table_size else 1) in
+  let visited = Ckey.Tbl.create table_size in
   let cfg0 = Config.initial proto ~inputs in
   (* queue holds (config, reversed schedule, depth) *)
   let q = Queue.create () in
   Queue.add (cfg0, [], 0) q;
-  H.replace visited (key cfg0) ();
+  Ckey.Tbl.replace visited (Ckey.pack pk cfg0) ();
+  counters.misses <- 1;
+  counters.peak <- 1;
   let check cfg rev_sched =
     let schedule () = List.rev rev_sched in
     let decided = Config.decided_values cfg in
@@ -100,49 +152,83 @@ let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
     if check_solo then
       for p = 0 to proto.Protocol.num_processes - 1 do
         if Config.has_decided cfg p = None
-           && not (solo_can_decide proto cfg p ~budget:solo_budget ~cache:solo_cache)
+           && not
+                (solo_can_decide proto pk cfg p ~budget:solo_budget ~cache:solo_cache
+                   ~counters)
         then raise (Found (Solo_stuck { inputs; schedule = schedule (); pid = p }))
       done
   in
-  try
-    while not (Queue.is_empty q) do
-      let cfg, rev_sched, depth = Queue.pop q in
-      incr explored;
-      if depth > !deepest then deepest := depth;
-      check cfg rev_sched;
-      if depth >= max_depth || !explored >= max_configs then truncated := true
-      else
-        List.iter
-          (fun (e, cfg') ->
-            if not (H.mem visited (key cfg')) then begin
-              H.replace visited (key cfg') ();
-              Queue.add (cfg', e :: rev_sched, depth + 1) q
-            end)
-          (successors proto cfg)
-    done;
-    Ok ()
-  with Found v -> Error v
-
-let check_set_agreement ~k proto ~inputs_list ~max_configs ~max_depth
-    ~solo_budget ~check_solo =
-  let explored = ref 0 and truncated = ref false and deepest = ref 0 in
   let verdict =
-    List.fold_left
-      (fun acc inputs ->
-        match acc with
-        | Error _ -> acc
-        | Ok () ->
-          check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget
-            ~check_solo ~explored ~truncated ~deepest)
-      (Ok ()) inputs_list
+    try
+      while not (Queue.is_empty q) do
+        let cfg, rev_sched, depth = Queue.pop q in
+        counters.explored <- counters.explored + 1;
+        if depth > counters.deep then counters.deep <- depth;
+        check cfg rev_sched;
+        if depth >= max_depth || counters.explored >= max_configs then
+          counters.trunc <- true
+        else begin
+          (* inline successor expansion: no intermediate list *)
+          let push e cfg' =
+            let key = Ckey.pack pk cfg' in
+            if Ckey.Tbl.mem visited key then counters.hits <- counters.hits + 1
+            else begin
+              counters.misses <- counters.misses + 1;
+              Ckey.Tbl.replace visited key ();
+              Queue.add (cfg', e :: rev_sched, depth + 1) q
+            end
+          in
+          for p = 0 to proto.Protocol.num_processes - 1 do
+            match Config.poised proto cfg p with
+            | None -> ()
+            | Some Action.Flip ->
+              push (Execution.flip p true) (fst (Config.step proto cfg p ~coin:(Some true)));
+              push (Execution.flip p false) (fst (Config.step proto cfg p ~coin:(Some false)))
+            | Some _ -> push (Execution.ev p) (fst (Config.step proto cfg p ~coin:None))
+          done;
+          let frontier = Queue.length q in
+          if frontier > counters.peak then counters.peak <- frontier
+        end
+      done;
+      Ok ()
+    with Found v -> Error v
   in
-  {
-    verdict;
-    stats =
-      { configs_explored = !explored; truncated = !truncated; deepest = !deepest };
-  }
+  { verdict; stats = stats_of_counters counters }
 
-let check_consensus proto = check_set_agreement ~k:1 proto
+let check_set_agreement ?(domains = 1) ~k proto ~inputs_list ~max_configs ~max_depth
+    ~solo_budget ~check_solo =
+  let run inputs =
+    check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
+  in
+  let results =
+    if domains <= 1 then begin
+      (* serial: stop after the first violating input vector *)
+      let rec go acc = function
+        | [] -> List.rev acc
+        | inputs :: rest ->
+          let r = run inputs in
+          (match r.verdict with
+           | Error _ -> List.rev (r :: acc)
+           | Ok () -> go (r :: acc) rest)
+      in
+      go [] inputs_list
+    end
+    else Par.map_list ~domains run inputs_list
+  in
+  (* Fold results up to and including the first violation (in input order).
+     The parallel path computes results for every vector but reports the
+     same prefix, so both paths return identical verdicts and stats. *)
+  let rec fold acc = function
+    | [] -> { verdict = Ok (); stats = acc }
+    | r :: rest ->
+      let acc = merge_stats acc r.stats in
+      (match r.verdict with
+       | Error _ -> { r with stats = acc }
+       | Ok () -> fold acc rest)
+  in
+  fold empty_stats results
+
+let check_consensus ?domains proto = check_set_agreement ?domains ~k:1 proto
 
 let binary_inputs n =
   let rec go k =
@@ -152,6 +238,13 @@ let binary_inputs n =
       List.concat_map (fun tl -> [ 0 :: tl; 1 :: tl ]) rest
   in
   List.map (fun bits -> Array.of_list (List.map Value.int bits)) (go n)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d configs (deepest %d%s), frontier peak %d, table %d/%d hit/miss, solo cache %d/%d"
+    s.configs_explored s.deepest
+    (if s.truncated then ", truncated" else ", exhaustive")
+    s.peak_frontier s.table_hits s.table_misses s.solo_cache_hits s.solo_cache_misses
 
 let pp_violation ppf = function
   | Agreement_violation { inputs; values; schedule } ->

@@ -12,11 +12,19 @@
       of the coins decides — Zhu's "nondeterministic solo termination").
 
     Exploration is exhaustive up to [max_configs] distinct configurations
-    and [max_depth] steps; racing-style protocols have infinite reachable
-    sets under adversarial scheduling, so a clean run is a *bounded*
-    guarantee — [stats.truncated] says whether the bound was hit.  A
-    reported violation is always a genuine counterexample, replayable from
-    the returned schedule. *)
+    and [max_depth] steps {e per input vector}; racing-style protocols have
+    infinite reachable sets under adversarial scheduling, so a clean run is
+    a *bounded* guarantee — [stats.truncated] says whether a bound was hit.
+    A reported violation is always a genuine counterexample, replayable
+    from the returned schedule.
+
+    Each input vector's search is fully self-contained (its own visited
+    table, solo cache and budget), which is what makes the optional
+    [?domains] fan-out sound: with [domains > 1] the vectors are checked in
+    parallel on separate OCaml domains and the results reassembled in input
+    order, so verdict {e and} stats are identical to a serial run.  All
+    tables key by packed configuration keys ({!Ts_model.Ckey}) rather than
+    polymorphic hashing. *)
 
 open Ts_model
 
@@ -27,8 +35,13 @@ type violation =
 
 type stats = {
   configs_explored : int;
-  truncated : bool;  (** true if max_configs or max_depth stopped the search *)
+  truncated : bool;  (** true if max_configs or max_depth stopped a search *)
   deepest : int;  (** depth of the deepest configuration explored *)
+  table_hits : int;  (** successor already in a visited table *)
+  table_misses : int;  (** fresh configurations inserted *)
+  peak_frontier : int;  (** high-water mark of the BFS queue *)
+  solo_cache_hits : int;  (** solo-termination probes answered by the cache *)
+  solo_cache_misses : int;  (** solo-termination probes that ran a BFS *)
 }
 
 type result = {
@@ -37,9 +50,11 @@ type result = {
 }
 
 (** [check_consensus proto ~inputs_list ~max_configs ~max_depth ~solo_budget
-    ~check_solo] explores from each initial input vector in turn and stops
-    at the first violation. *)
+    ~check_solo] explores from each initial input vector and reports the
+    violation of the earliest violating vector, if any.  [?domains]
+    (default 1) fans the vectors out over that many OCaml domains. *)
 val check_consensus :
+  ?domains:int ->
   's Protocol.t ->
   inputs_list:Value.t array list ->
   max_configs:int ->
@@ -53,6 +68,7 @@ val check_consensus :
     decided values is an [Agreement_violation].  [check_consensus] is the
     [k = 1] case. *)
 val check_set_agreement :
+  ?domains:int ->
   k:int ->
   's Protocol.t ->
   inputs_list:Value.t array list ->
@@ -65,4 +81,5 @@ val check_set_agreement :
 (** All 2^n binary input vectors for [n] processes. *)
 val binary_inputs : int -> Value.t array list
 
+val pp_stats : Format.formatter -> stats -> unit
 val pp_violation : Format.formatter -> violation -> unit

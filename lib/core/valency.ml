@@ -2,17 +2,67 @@ open Ts_model
 
 exception Horizon_exceeded of string
 
+type stats = {
+  searches : int;
+  nodes_expanded : int;
+  memo_hits : int;
+  memo_misses : int;
+  peak_frontier : int;
+}
+
+(* Memo keys: packed configuration + participant mask + target value. *)
+module Memo_key = struct
+  type t = {
+    ck : Ckey.t;
+    mask : int;
+    v : int;
+  }
+
+  let equal a b = a.mask = b.mask && a.v = b.v && Ckey.equal a.ck b.ck
+  let hash { ck; mask; v } = (Ckey.hash ck + (mask * 0x9e3779b9) + (v * 0x85ebca6b)) land max_int
+end
+
+module Memo = Hashtbl.Make (Memo_key)
+
 type 's t = {
   proto : 's Protocol.t;
   horizon : int;
-  memo : ('s Config.t * int * int, Execution.event list option) Hashtbl.t;
+  parallel : bool;
+  memo : Execution.event list option Memo.t;
+  pk : 's Ckey.packer;  (* coordinator-domain packer for memo keys *)
   mutable searches : int;
+  mutable nodes_expanded : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable peak_frontier : int;
 }
 
-let create proto ~horizon = { proto; horizon; memo = Hashtbl.create 4096; searches = 0 }
+let create ?(parallel = false) proto ~horizon =
+  {
+    proto;
+    horizon;
+    parallel;
+    memo = Memo.create 4096;
+    pk = Ckey.packer proto;
+    searches = 0;
+    nodes_expanded = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    peak_frontier = 0;
+  }
+
 let protocol t = t.proto
 let horizon t = t.horizon
 let searches t = t.searches
+
+let stats t =
+  {
+    searches = t.searches;
+    nodes_expanded = t.nodes_expanded;
+    memo_hits = t.memo_hits;
+    memo_misses = t.memo_misses;
+    peak_frontier = t.peak_frontier;
+  }
 
 let zero = Value.int 0
 let one = Value.int 1
@@ -23,28 +73,37 @@ let decided_here cfg v = List.exists (Value.equal v) (Config.decided_values cfg)
    BFS visits every configuration at its shortest P-only distance, so
    together with the visited table the search is *complete* for executions
    of length <= horizon, and the returned witness is one of minimal
-   length.  Negative answers still only mean "not within horizon". *)
+   length.  Negative answers still only mean "not within horizon".
+
+   Self-contained and effect-free on [t]'s mutable fields — it builds its
+   own packer and visited table, keyed by packed configurations — so two
+   searches may run on separate domains; counters come back as data and
+   are folded into [t] by the (single-domain) coordinator. *)
 let search t cfg ps v =
-  t.searches <- t.searches + 1;
-  let visited = Hashtbl.create 1024 in
+  let pk = Ckey.packer t.proto in
+  let visited = Ckey.Tbl.create 1024 in
   let q = Queue.create () in
   Queue.add (cfg, [], 0) q;
-  Hashtbl.replace visited cfg ();
+  Ckey.Tbl.replace visited (Ckey.pack pk cfg) ();
   let result = ref None in
+  let nodes = ref 0 in
+  let peak = ref 1 in
   (try
      while not (Queue.is_empty q) do
        let cfg, rev_sched, depth = Queue.pop q in
+       incr nodes;
        if decided_here cfg v then begin
          result := Some (List.rev rev_sched);
          raise Exit
        end;
-       if depth < t.horizon then
+       if depth < t.horizon then begin
          Pset.iter
            (fun p ->
              let push coin =
                let cfg', _ = Config.step t.proto cfg p ~coin in
-               if not (Hashtbl.mem visited cfg') then begin
-                 Hashtbl.replace visited cfg' ();
+               let key = Ckey.pack pk cfg' in
+               if not (Ckey.Tbl.mem visited key) then begin
+                 Ckey.Tbl.replace visited key ();
                  Queue.add (cfg', { Execution.pid = p; coin } :: rev_sched, depth + 1) q
                end
              in
@@ -54,18 +113,33 @@ let search t cfg ps v =
                push (Some true);
                push (Some false)
              | Some _ -> push None)
-           ps
+           ps;
+         let frontier = Queue.length q in
+         if frontier > !peak then peak := frontier
+       end
      done
    with Exit -> ());
-  !result
+  !result, !nodes, !peak
+
+let record t (result, nodes, peak) =
+  t.searches <- t.searches + 1;
+  t.nodes_expanded <- t.nodes_expanded + nodes;
+  if peak > t.peak_frontier then t.peak_frontier <- peak;
+  result
+
+let memo_key t cfg ps v =
+  { Memo_key.ck = Ckey.pack t.pk cfg; mask = Pset.to_mask ps; v = Value.to_int v }
 
 let can_decide t cfg ps v =
-  let key = cfg, Pset.to_mask ps, Value.to_int v in
-  match Hashtbl.find_opt t.memo key with
-  | Some r -> r
+  let key = memo_key t cfg ps v in
+  match Memo.find_opt t.memo key with
+  | Some r ->
+    t.memo_hits <- t.memo_hits + 1;
+    r
   | None ->
-    let r = search t cfg ps v in
-    Hashtbl.replace t.memo key r;
+    t.memo_misses <- t.memo_misses + 1;
+    let r = record t (search t cfg ps v) in
+    Memo.replace t.memo key r;
     r
 
 type verdict =
@@ -73,12 +147,45 @@ type verdict =
   | Univalent of Value.t * Execution.event list
   | Blocked
 
-let classify t cfg ps =
-  match can_decide t cfg ps zero, can_decide t cfg ps one with
+let verdict_of = function
   | Some w0, Some w1 -> Bivalent (w0, w1)
   | Some w0, None -> Univalent (zero, w0)
   | None, Some w1 -> Univalent (one, w1)
   | None, None -> Blocked
+
+(* The two probes of [classify] are independent searches; with [parallel]
+   oracles the misses run concurrently on separate domains (the memo is
+   only ever touched from the coordinator's domain). *)
+let classify t cfg ps =
+  if not t.parallel then verdict_of (can_decide t cfg ps zero, can_decide t cfg ps one)
+  else begin
+    let k0 = memo_key t cfg ps zero and k1 = memo_key t cfg ps one in
+    match Memo.find_opt t.memo k0, Memo.find_opt t.memo k1 with
+    | Some r0, Some r1 ->
+      t.memo_hits <- t.memo_hits + 2;
+      verdict_of (r0, r1)
+    | None, None ->
+      t.memo_misses <- t.memo_misses + 2;
+      let s0, s1 =
+        Par.both (fun () -> search t cfg ps zero) (fun () -> search t cfg ps one)
+      in
+      let r0 = record t s0 and r1 = record t s1 in
+      Memo.replace t.memo k0 r0;
+      Memo.replace t.memo k1 r1;
+      verdict_of (r0, r1)
+    | Some r0, None ->
+      t.memo_hits <- t.memo_hits + 1;
+      t.memo_misses <- t.memo_misses + 1;
+      let r1 = record t (search t cfg ps one) in
+      Memo.replace t.memo k1 r1;
+      verdict_of (r0, r1)
+    | None, Some r1 ->
+      t.memo_hits <- t.memo_hits + 1;
+      t.memo_misses <- t.memo_misses + 1;
+      let r0 = record t (search t cfg ps zero) in
+      Memo.replace t.memo k0 r0;
+      verdict_of (r0, r1)
+  end
 
 let is_bivalent t cfg ps =
   match classify t cfg ps with
@@ -89,3 +196,7 @@ let univalent_value t cfg ps =
   match classify t cfg ps with
   | Univalent (v, _) -> Some v
   | Bivalent _ | Blocked -> None
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "%d searches over %d nodes, memo %d/%d hit/miss, frontier peak %d"
+    s.searches s.nodes_expanded s.memo_hits s.memo_misses s.peak_frontier

@@ -30,7 +30,13 @@ exception Horizon_exceeded of string
 (** Raised by engine components when a bounded-search answer could not be
     verified; retry with a larger horizon. *)
 
-val create : 's Protocol.t -> horizon:int -> 's t
+(** [create ?parallel proto ~horizon] builds an oracle.  With
+    [parallel:true], {!classify}'s two independent probes run concurrently
+    on separate OCaml domains when both miss the memo table; answers are
+    identical to the serial oracle's.  All visited/memo tables key by
+    packed configurations ({!Ts_model.Ckey}). *)
+val create : ?parallel:bool -> 's Protocol.t -> horizon:int -> 's t
+
 val protocol : 's t -> 's Protocol.t
 val horizon : 's t -> int
 
@@ -56,6 +62,18 @@ val univalent_value : 's t -> 's Config.t -> Pset.t -> Value.t option
 
 (** Number of [can_decide] searches actually run (memo misses). *)
 val searches : 's t -> int
+
+(** Cumulative search-engine counters of this oracle. *)
+type stats = {
+  searches : int;  (** BFS searches actually run (memo misses) *)
+  nodes_expanded : int;  (** configurations dequeued across all searches *)
+  memo_hits : int;
+  memo_misses : int;
+  peak_frontier : int;  (** high-water mark of any single search's queue *)
+}
+
+val stats : 's t -> stats
+val pp_stats : Format.formatter -> stats -> unit
 
 (** The two binary decision values, [Value.int 0] and [Value.int 1]. *)
 val zero : Value.t

@@ -12,15 +12,17 @@ type stats = {
 let dot t ~inputs ~pset ~depth ~max_nodes =
   let proto = Valency.protocol t in
   let cfg0 = Config.initial proto ~inputs in
-  let ids = Hashtbl.create 256 in
+  let pk = Ckey.packer proto in
+  let ids = Ckey.Tbl.create 256 in
   let next_id = ref 0 in
   let id_of cfg =
-    match Hashtbl.find_opt ids cfg with
+    let key = Ckey.pack pk cfg in
+    match Ckey.Tbl.find_opt ids key with
     | Some i -> i, false
     | None ->
       let i = !next_id in
       incr next_id;
-      Hashtbl.replace ids cfg i;
+      Ckey.Tbl.replace ids key i;
       i, true
   in
   let buf = Buffer.create 4096 in

@@ -1,0 +1,97 @@
+(* Compact canonical keys for configurations.
+
+   Every search in the engine (explore, valency, covering) keys a visited
+   or memo table by a configuration.  The polymorphic [Hashtbl.hash] only
+   inspects a bounded prefix of a value, so deep configurations collide
+   catastrophically once the tables grow; polymorphic [=] then rescans long
+   buckets.  A [Ckey.t] instead packs the configuration once into a byte
+   string — per-process status via the protocol's state encoder, plus a
+   register digest — and carries a full-width FNV-1a hash of it, giving the
+   functorized tables O(1) behaviour at any depth.
+
+   Injectivity: each component encoding is self-delimiting (tag bytes plus
+   varints, or a Marshal frame), and the component count is fixed by the
+   protocol, so distinct configurations pack to distinct strings. *)
+
+type t = {
+  digest : string;
+  hash : int;
+}
+
+let fnv_prime = 0x100000001b3
+
+let hash_string s =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  !h land max_int
+
+let of_string digest = { digest; hash = hash_string digest }
+let equal a b = a.hash = b.hash && String.equal a.digest b.digest
+let hash t = t.hash
+let compare a b = String.compare a.digest b.digest
+let digest_bytes t = String.length t.digest
+
+(* Fallback for states (and whole foreign configurations, e.g. the mutex
+   lock snapshots) without a packed encoder.  Marshal frames carry their
+   own length, so the output is self-delimiting too. *)
+let marshal_to buf v = Buffer.add_string buf (Marshal.to_string v [])
+let of_marshal v = of_string (Marshal.to_string v [])
+
+(* A packer owns a scratch buffer, so one search (one domain) reuses the
+   allocation across millions of packings.  Packers are not shareable
+   across domains — create one per search. *)
+type 's packer = {
+  proto : 's Protocol.t;
+  buf : Buffer.t;
+  encode_state : Buffer.t -> 's -> unit;
+}
+
+let packer proto =
+  {
+    proto;
+    buf = Buffer.create 256;
+    encode_state =
+      (match proto.Protocol.encode with
+       | Protocol.Packed f -> f
+       | Protocol.Generic -> marshal_to);
+  }
+
+let pack pk (cfg : _ Config.t) =
+  let buf = pk.buf in
+  Buffer.clear buf;
+  Array.iter
+    (fun st ->
+      match st with
+      | Config.Decided v ->
+        Buffer.add_char buf 'D';
+        Value.encode buf v
+      | Config.Running s ->
+        Buffer.add_char buf 'R';
+        pk.encode_state buf s)
+    cfg.Config.procs;
+  Array.iter (fun v -> Value.encode buf v) cfg.Config.regs;
+  of_string (Buffer.contents buf)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(* Keys salted with small integers (process id, participant mask, target
+   value...) for memo tables whose key is a configuration plus context. *)
+module Salted = struct
+  type nonrec t = {
+    ck : t;
+    salt : int;
+  }
+
+  let make ck salt = { ck; salt }
+  let equal a b = a.salt = b.salt && equal a.ck b.ck
+  let hash { ck; salt } = (ck.hash + (salt * 0x9e3779b9)) land max_int
+end
+
+module Salted_tbl = Hashtbl.Make (Salted)

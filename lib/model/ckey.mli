@@ -1,0 +1,54 @@
+(** Compact canonical configuration keys for the search engine.
+
+    Every BFS in the engine (the checker's exploration, the valency oracle,
+    the mutex covering search) keys visited/memo tables by configurations.
+    The polymorphic [Hashtbl.hash] only samples a bounded prefix of a value,
+    so deep configurations collide catastrophically as tables grow, and
+    polymorphic [=] then rescans long buckets.  A [Ckey.t] packs the
+    configuration once into a byte string — per-process status via the
+    protocol's {!Protocol.state_encoder} plus a register digest — and caches
+    a full-width FNV-1a hash of it.
+
+    Packings are injective: every component encoding is self-delimiting and
+    the component count is fixed by the protocol, so distinct configurations
+    produce distinct keys. *)
+
+type t
+
+val of_string : string -> t
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+
+(** Number of bytes in the packed digest (observability/testing). *)
+val digest_bytes : t -> int
+
+(** [of_marshal v] keys an arbitrary plain-data value by its structural
+    serialization — the fallback for state spaces without a packed encoder
+    (e.g. the mutex lock snapshots). *)
+val of_marshal : 'a -> t
+
+(** A packer owns a scratch buffer reused across packings.  Packers are not
+    shareable across domains: create one per search. *)
+type 's packer
+
+val packer : 's Protocol.t -> 's packer
+val pack : 's packer -> 's Config.t -> t
+
+(** Hash tables keyed by packed configurations. *)
+module Tbl : Hashtbl.S with type key = t
+
+(** Keys salted with a small integer of context (process id, participant
+    mask, target value...) for memo tables whose key is a configuration
+    plus context. *)
+module Salted : sig
+  type ckey := t
+
+  type t
+
+  val make : ckey -> int -> t
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Salted_tbl : Hashtbl.S with type key = Salted.t

@@ -89,8 +89,37 @@ let covering_is_distinct proto cfg ps =
   List.for_all Option.is_some regs
   && List.length (List.sort_uniq Stdlib.compare regs) = List.length regs
 
-let equal a b = Stdlib.( = ) a b
-let hash c = Hashtbl.hash c
+(* Structural equality/hash.  Registers compare via [Value.equal]; process
+   statuses compare per element, so only the (small) protocol state ever
+   meets the polymorphic comparator.  The hash mixes a per-component digest
+   instead of handing the whole record to [Hashtbl.hash], whose bounded
+   traversal degenerates on deep configurations — the search tables
+   themselves use the packed keys in [Ckey], which these definitions agree
+   with. *)
+let equal_status a b =
+  match a, b with
+  | Decided v, Decided w -> Value.equal v w
+  | Running s, Running s' -> Stdlib.compare s s' = 0
+  | (Decided _ | Running _), _ -> false
+
+let array_for_all2 eq a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (eq a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b =
+  array_for_all2 equal_status a.procs b.procs && array_for_all2 Value.equal a.regs b.regs
+
+let hash c =
+  let h = ref 0x3bf29ce4 in
+  let mix x = h := ((!h lxor x) * 0x01000193) land max_int in
+  Array.iter
+    (fun st ->
+      mix (match st with Decided v -> Value.hash v lxor 0x44 | Running s -> Hashtbl.hash s))
+    c.procs;
+  Array.iter (fun v -> mix (Value.hash v)) c.regs;
+  !h
 let register cfg r = cfg.regs.(r)
 
 let pp (proto : 's Protocol.t) ppf cfg =

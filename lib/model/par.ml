@@ -1,0 +1,54 @@
+(* Minimal domain fan-out for the search engine (same Domain.spawn/join
+   pattern as Ts_runtime.Atomic_run, but dependency-free so the checker and
+   core layers can use it).  Workers share nothing mutable: each returns
+   its (index, result) pairs and the parent reassembles them in order, so
+   parallel runs are observationally identical to serial ones. *)
+
+let available_domains () = Domain.recommended_domain_count ()
+
+type 'a outcome =
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+let catch f x = try Done (f x) with e -> Raised (e, Printexc.get_raw_backtrace ())
+
+(* [map_list ~domains f xs]: like [List.map f xs] but strided over a pool
+   of [domains] domains (the caller's domain is one of them).  Exceptions
+   are re-raised in item order, matching what a serial left-to-right map
+   would have surfaced first. *)
+let map_list ~domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then List.map f xs
+  else begin
+    let worker k () =
+      let acc = ref [] in
+      let i = ref k in
+      while !i < n do
+        acc := (!i, catch f items.(!i)) :: !acc;
+        i := !i + domains
+      done;
+      !acc
+    in
+    let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    let results = Array.make n None in
+    let collect = List.iter (fun (i, r) -> results.(i) <- Some r) in
+    collect (worker 0 ());
+    Array.iter (fun d -> collect (Domain.join d)) spawned;
+    Array.to_list results
+    |> List.map (function
+      | Some (Done v) -> v
+      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false)
+  end
+
+(* Run two independent thunks, one on a fresh domain.  Always joins before
+   re-raising so no domain is leaked. *)
+let both f g =
+  let d = Domain.spawn g in
+  let a = catch f () in
+  let b = Domain.join d in
+  match a with
+  | Done a -> a, b
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt

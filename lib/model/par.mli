@@ -1,0 +1,19 @@
+(** Minimal domain fan-out for the search engine.
+
+    Same [Domain.spawn]/[join] pattern as [Ts_runtime.Atomic_run], but
+    dependency-free so the checker and core layers can use it.  Workers
+    share no mutable state; results are reassembled in input order, so a
+    parallel run is observationally identical to a serial one. *)
+
+(** The runtime's recommended domain count for this machine. *)
+val available_domains : unit -> int
+
+(** [map_list ~domains f xs] is [List.map f xs], strided over a pool of
+    [domains] domains (the calling domain is one of them).  If several
+    applications raise, the exception of the earliest item is re-raised —
+    exactly what a serial left-to-right map would have surfaced. *)
+val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [both f g] runs the two thunks concurrently (one on a fresh domain) and
+    returns both results; always joins before re-raising. *)
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b

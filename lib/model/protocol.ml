@@ -1,5 +1,14 @@
 type pid = int
 
+(* How a protocol's local state is packed into the canonical search key
+   (see Ckey).  [Packed] writers must emit a self-delimiting byte string —
+   tag bytes plus [Value.add_varint] fields suffice — so that concatenating
+   per-process encodings stays injective.  [Generic] falls back to a
+   structural serialization of the state. *)
+type 's state_encoder =
+  | Generic
+  | Packed of (Buffer.t -> 's -> unit)
+
 type 's t = {
   name : string;
   description : string;
@@ -12,6 +21,7 @@ type 's t = {
   on_swap : 's -> Value.t -> 's;
   on_flip : 's -> bool -> 's;
   pp_state : Format.formatter -> 's -> unit;
+  encode : 's state_encoder;
 }
 
 type packed = Packed : 's t -> packed

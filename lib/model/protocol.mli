@@ -14,6 +14,16 @@
 
 type pid = int
 
+(** How a protocol's local state is serialized into the packed search keys
+    of {!Ckey}.  A [Packed] writer must emit a self-delimiting byte string
+    (tag bytes plus {!Value.add_varint} fields suffice) so that
+    concatenating per-process encodings remains injective; [Generic] falls
+    back to a structural serialization, correct for any plain-data state
+    but slower and bulkier. *)
+type 's state_encoder =
+  | Generic
+  | Packed of (Buffer.t -> 's -> unit)
+
 type 's t = {
   name : string;  (** short identifier used in tables and traces *)
   description : string;  (** one-line human description *)
@@ -27,6 +37,8 @@ type 's t = {
   on_swap : 's -> Value.t -> 's;  (** state after a swap, given the displaced value *)
   on_flip : 's -> bool -> 's;  (** state after a coin flip *)
   pp_state : Format.formatter -> 's -> unit;
+  encode : 's state_encoder;
+      (** packs the state into search keys; see {!state_encoder} *)
 }
 
 (** Protocols with hidden state type, for registries and CLIs. *)

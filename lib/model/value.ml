@@ -38,7 +38,41 @@ let rec compare a b =
   | _, Pair _ -> 1
   | List xs, List ys -> List.compare compare xs ys
 
-let hash = Hashtbl.hash
+let rec hash = function
+  | Bot -> 0x42
+  | Int n -> n * 0x1000193
+  | Bool b -> if b then 0x2f else 0x3d
+  | Pair (a, b) -> (hash a * 31) + hash b + 1
+  | List vs -> List.fold_left (fun h v -> (h * 31) + hash v) 0x55 vs
+
+(* Zigzag varint: a self-delimiting prefix code, so concatenations of
+   encoded values decode unambiguously — key packings built from it are
+   injective by construction. *)
+let add_varint buf n =
+  let n = (n lsl 1) lxor (n asr 62) in
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let rec encode buf = function
+  | Bot -> Buffer.add_char buf '\000'
+  | Int n ->
+    Buffer.add_char buf '\001';
+    add_varint buf n
+  | Bool b -> Buffer.add_char buf (if b then '\002' else '\003')
+  | Pair (a, b) ->
+    Buffer.add_char buf '\004';
+    encode buf a;
+    encode buf b
+  | List vs ->
+    Buffer.add_char buf '\005';
+    add_varint buf (List.length vs);
+    List.iter (encode buf) vs
 
 let to_int = function
   | Int n -> n

@@ -38,3 +38,12 @@ val to_list : t -> t list
 val is_bot : t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** [add_varint buf n] appends a zigzag varint — a self-delimiting prefix
+    code over arbitrary ints — to [buf].  The building block for packed
+    state encoders ({!Protocol.state_encoder}). *)
+val add_varint : Buffer.t -> int -> unit
+
+(** [encode buf v] appends a self-delimiting binary encoding of [v]; two
+    values encode identically iff they are [equal]. *)
+val encode : Buffer.t -> t -> unit

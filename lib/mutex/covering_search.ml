@@ -63,12 +63,17 @@ let step alg cfg p =
        `Ok { (with_state (Some (alg.Algorithm.on_exit st))) with in_cs = None }
      | Algorithm.Done -> `Ok (with_state None))
 
+(* Lock snapshots have no protocol-supplied encoder; key them by their
+   structural serialization (still a full-width hash, unlike the truncated
+   polymorphic one). *)
+let key cfg = Ckey.of_marshal cfg
+
 let search alg ~max_configs =
   let n = alg.Algorithm.num_processes in
-  let visited = Hashtbl.create 4096 in
+  let visited = Ckey.Tbl.create 4096 in
   let q = Queue.create () in
   let cfg0 = initial alg in
-  Hashtbl.replace visited cfg0 ();
+  Ckey.Tbl.replace visited (key cfg0) ();
   Queue.add cfg0 q;
   let best = ref 0 in
   let explored = ref 0 in
@@ -88,8 +93,9 @@ let search alg ~max_configs =
         | `Idle -> ()
         | `Violation -> violated := true
         | `Ok cfg' ->
-          if not (Hashtbl.mem visited cfg') then begin
-            Hashtbl.replace visited cfg' ();
+          let k = key cfg' in
+          if not (Ckey.Tbl.mem visited k) then begin
+            Ckey.Tbl.replace visited k ();
             Queue.add cfg' q
           end
       done

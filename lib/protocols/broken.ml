@@ -18,6 +18,34 @@ let pp_state ppf = function
   | Const v -> Fmt.pf ppf "const(%d)" v
   | Spin -> Fmt.string ppf "spin"
 
+let encode_state buf = function
+  | Lww { input; stage } ->
+    Buffer.add_char buf 'L';
+    Value.add_varint buf input;
+    Value.add_varint buf stage
+  | Lww_done v ->
+    Buffer.add_char buf 'l';
+    Value.add_varint buf v
+  | Max { me; n = _; pref; step; seen } ->
+    Buffer.add_char buf 'M';
+    Value.add_varint buf me;
+    Value.add_varint buf pref;
+    Value.add_varint buf step;
+    Value.add_varint buf (List.length seen);
+    List.iter (Value.add_varint buf) seen
+  | Max_write { me; n = _; pref; target } ->
+    Buffer.add_char buf 'W';
+    Value.add_varint buf me;
+    Value.add_varint buf pref;
+    Value.add_varint buf target
+  | Max_decide v ->
+    Buffer.add_char buf 'm';
+    Value.add_varint buf v
+  | Const v ->
+    Buffer.add_char buf 'C';
+    Value.add_varint buf v
+  | Spin -> Buffer.add_char buf 'Z'
+
 let base ~name ~description ~n ~regs ~init ~poised ~on_read ~on_write :
     state Protocol.t =
   {
@@ -32,6 +60,7 @@ let base ~name ~description ~n ~regs ~init ~poised ~on_read ~on_write :
     on_swap = Protocol.no_swap;
     on_flip = Protocol.no_flip;
     pp_state;
+    encode = Protocol.Packed encode_state;
   }
 
 let last_write_wins ~n =

@@ -65,6 +65,23 @@ let on_write st =
   | Incrementing _ -> { st with phase = fresh_scan }
   | Scanning _ | Deciding -> invalid_arg "Kset.on_write"
 
+let encode_state buf st =
+  Value.add_varint buf st.rank;
+  Value.add_varint buf st.base;
+  Value.add_varint buf st.pref;
+  match st.phase with
+  | Scanning s ->
+    Buffer.add_char buf 'S';
+    Value.add_varint buf s.step;
+    Value.add_varint buf s.s_own;
+    Value.add_varint buf s.s_riv;
+    Value.add_varint buf s.my_own;
+    Value.add_varint buf s.my_riv
+  | Incrementing c ->
+    Buffer.add_char buf 'I';
+    Value.add_varint buf c
+  | Deciding -> Buffer.add_char buf 'D'
+
 let make ~n ~k : state Protocol.t =
   if k < 1 || k > n then invalid_arg "Kset.make: need 1 <= k <= n";
   {
@@ -92,4 +109,5 @@ let make ~n ~k : state Protocol.t =
     pp_state =
       (fun ppf st ->
         Fmt.pf ppf "⟨g@%d rank=%d pref=%d⟩" st.base st.rank st.pref);
+    encode = Protocol.Packed encode_state;
   }

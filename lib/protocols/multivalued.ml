@@ -65,6 +65,35 @@ let race_read st ~round ~pref race value =
 
 let matches_prefix st ~round v = v land ((1 lsl (round + 1)) - 1) = st.prefix
 
+let encode_race buf r =
+  Value.add_varint buf r.step;
+  Value.add_varint buf r.s_own;
+  Value.add_varint buf r.s_riv;
+  Value.add_varint buf r.my_own;
+  Value.add_varint buf r.my_riv
+
+let encode_state buf st =
+  Value.add_varint buf st.me;
+  Value.add_varint buf st.cand;
+  Value.add_varint buf st.prefix;
+  match st.phase with
+  | Post -> Buffer.add_char buf 'P'
+  | Racing { round; pref; race } ->
+    Buffer.add_char buf 'R';
+    Value.add_varint buf round;
+    Value.add_varint buf pref;
+    encode_race buf race
+  | Bumping { round; pref; next } ->
+    Buffer.add_char buf 'B';
+    Value.add_varint buf round;
+    Value.add_varint buf pref;
+    Value.add_varint buf next
+  | Rescanning { round; idx } ->
+    Buffer.add_char buf 'S';
+    Value.add_varint buf round;
+    Value.add_varint buf idx
+  | Deciding -> Buffer.add_char buf 'D'
+
 let make ~n ~bits : state Protocol.t =
   if n < 1 then invalid_arg "Multivalued.make: n >= 1";
   if bits < 1 || bits > 20 then invalid_arg "Multivalued.make: 1 <= bits <= 20";
@@ -134,4 +163,5 @@ let make ~n ~bits : state Protocol.t =
           | Deciding -> "decide"
         in
         Fmt.pf ppf "⟨p%d cand=%d pfx=%d %s⟩" st.me st.cand st.prefix phase);
+    encode = Protocol.Packed encode_state;
   }

@@ -109,6 +109,28 @@ let pp_state ppf st =
   in
   Fmt.pf ppf "⟨p%d pref=%d %s⟩" st.me st.pref phase
 
+(* Packed key encoding: tag byte per phase + varint fields; [n] is fixed
+   per protocol instance so it is not part of the key. *)
+let encode_state buf st =
+  Value.add_varint buf st.me;
+  Value.add_varint buf st.pref;
+  match st.phase with
+  | Scanning s ->
+    Buffer.add_char buf 'S';
+    Value.add_varint buf s.step;
+    Value.add_varint buf s.s_own;
+    Value.add_varint buf s.s_riv;
+    Value.add_varint buf s.my_own;
+    Value.add_varint buf s.my_riv
+  | Tossing { my_own; my_riv } ->
+    Buffer.add_char buf 'T';
+    Value.add_varint buf my_own;
+    Value.add_varint buf my_riv
+  | Incrementing c ->
+    Buffer.add_char buf 'I';
+    Value.add_varint buf c
+  | Deciding -> Buffer.add_char buf 'D'
+
 let build ~n ~tie_flips ~name ~description : state Protocol.t =
   if n < 1 then invalid_arg "Racing.make: n must be >= 1";
   {
@@ -125,6 +147,7 @@ let build ~n ~tie_flips ~name ~description : state Protocol.t =
       (if tie_flips then on_flip
        else fun _ _ -> invalid_arg "Racing: deterministic variant flipped");
     pp_state;
+    encode = Protocol.Packed encode_state;
   }
 
 let make ~n =

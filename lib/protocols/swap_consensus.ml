@@ -31,6 +31,16 @@ let make ~n ~name ~description : state Protocol.t =
         match st with
         | Swapping v -> Fmt.pf ppf "⟨swap %d⟩" v
         | Decided_on v -> Fmt.pf ppf "⟨decided %a⟩" Value.pp v);
+    encode =
+      Protocol.Packed
+        (fun buf st ->
+          match st with
+          | Swapping v ->
+            Buffer.add_char buf 'S';
+            Value.add_varint buf v
+          | Decided_on v ->
+            Buffer.add_char buf 'D';
+            Value.encode buf v);
   }
 
 let two_process () =

@@ -30,6 +30,7 @@ let tiny : tiny Protocol.t =
     on_swap = Protocol.no_swap;
     on_flip = Protocol.no_flip;
     pp_state = (fun ppf _ -> Fmt.string ppf "tiny");
+    encode = Protocol.Generic;
   }
 
 let inputs01 = [| Value.int 0; Value.int 1 |]

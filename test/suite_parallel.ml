@@ -1,0 +1,130 @@
+(* The packed-key + domain-parallel engine: parallel runs must be
+   bit-identical to serial ones, and key packing must be injective. *)
+open Ts_model
+open Ts_checker
+open Ts_protocols
+
+(* --- differential: check_set_agreement serial vs domains:4 ------------- *)
+
+let same_result name (a : Explore.result) (b : Explore.result) =
+  Alcotest.(check bool) (name ^ ": same verdict") true (a.Explore.verdict = b.Explore.verdict);
+  Alcotest.(check bool) (name ^ ": same stats") true (a.Explore.stats = b.Explore.stats)
+
+let differential ?(k = 1) name proto ~inputs_list ~max_configs ~max_depth ~solo_budget
+    ~check_solo () =
+  let run domains =
+    Explore.check_set_agreement ~domains ~k proto ~inputs_list ~max_configs ~max_depth
+      ~solo_budget ~check_solo
+  in
+  same_result name (run 1) (run 4)
+
+let test_diff_racing () =
+  differential "racing-2" (Racing.make ~n:2)
+    ~inputs_list:(Explore.binary_inputs 2) ~max_configs:3_000 ~max_depth:25
+    ~solo_budget:60 ~check_solo:false ()
+
+let test_diff_broken () =
+  (* a violating protocol: the parallel fold must report the same first
+     violation (in input order) as the serial early-exit *)
+  differential "broken last-write-wins" (Broken.last_write_wins ~n:2)
+    ~inputs_list:(Explore.binary_inputs 2) ~max_configs:10_000 ~max_depth:30
+    ~solo_budget:50 ~check_solo:true ()
+
+let test_diff_multivalued () =
+  differential "multivalued-2x2"
+    (Multivalued.make ~n:2 ~bits:2)
+    ~inputs_list:[ [| Value.int 0; Value.int 3 |]; [| Value.int 2; Value.int 1 |] ]
+    ~max_configs:3_000 ~max_depth:25 ~solo_budget:60 ~check_solo:false ()
+
+let test_diff_kset () =
+  differential ~k:2 "kset-3-2" (Kset.make ~n:3 ~k:2)
+    ~inputs_list:(Explore.binary_inputs 3) ~max_configs:2_000 ~max_depth:20
+    ~solo_budget:40 ~check_solo:false ()
+
+(* --- differential: the valency oracle -------------------------------- *)
+
+let test_diff_valency () =
+  let proto = Racing.make ~n:2 in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let run parallel =
+    let t = Ts_core.Valency.create ~parallel proto ~horizon:30 in
+    let i0 = Config.initial proto ~inputs in
+    let verdicts =
+      List.map
+        (fun ps -> Ts_core.Valency.classify t i0 ps)
+        [ Pset.singleton 0; Pset.singleton 1; Pset.all 2 ]
+    in
+    verdicts, Ts_core.Valency.stats t
+  in
+  let vs, ss = run false in
+  let vp, sp = run true in
+  Alcotest.(check bool) "same verdicts" true (vs = vp);
+  Alcotest.(check bool) "same stats" true (ss = sp)
+
+(* --- qcheck: key packing is injective on reachable configurations ----- *)
+
+(* Random walk from random binary inputs; collects the visited configs. *)
+let random_configs proto ~n ~seed ~steps =
+  let rng = Rng.create seed in
+  let inputs = Array.init n (fun _ -> Value.int (Rng.int rng 2)) in
+  let cfg = ref (Config.initial proto ~inputs) in
+  let acc = ref [ !cfg ] in
+  (try
+     for _ = 1 to steps do
+       let alive =
+         List.filter (fun p -> Config.has_decided !cfg p = None) (List.init n Fun.id)
+       in
+       if alive = [] then raise Exit;
+       let p = List.nth alive (Rng.int rng (List.length alive)) in
+       let coin =
+         match Config.poised proto !cfg p with
+         | Some Action.Flip -> Some (Rng.bool rng)
+         | _ -> None
+       in
+       cfg := fst (Config.step proto !cfg p ~coin);
+       acc := !cfg :: !acc
+     done
+   with Exit -> ());
+  !acc
+
+(* Config.equal a b  <=>  Ckey.equal (pack a) (pack b), and equal keys have
+   equal hashes.  Two independent walks so unequal pairs actually occur. *)
+let prop_pack_injective name proto ~n =
+  QCheck.Test.make ~name:("ckey: packing injective on " ^ name) ~count:30
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let pk = Ckey.packer proto in
+      let cs =
+        random_configs proto ~n ~seed:s1 ~steps:25
+        @ random_configs proto ~n ~seed:(s2 + 1000) ~steps:25
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let ka = Ckey.pack pk a and kb = Ckey.pack pk b in
+              let same_cfg = Config.equal a b and same_key = Ckey.equal ka kb in
+              same_cfg = same_key && (not same_key || Ckey.hash ka = Ckey.hash kb))
+            cs)
+        cs)
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ~verbose:false)
+    [
+      prop_pack_injective "racing-2" (Racing.make ~n:2) ~n:2;
+      prop_pack_injective "broken-lww-2" (Broken.last_write_wins ~n:2) ~n:2;
+      prop_pack_injective "multivalued-2x2" (Multivalued.make ~n:2 ~bits:2) ~n:2;
+      prop_pack_injective "kset-3-2" (Kset.make ~n:3 ~k:2) ~n:3;
+    ]
+
+let suite =
+  ( "parallel-engine",
+    [
+      Alcotest.test_case "serial = parallel: racing" `Quick test_diff_racing;
+      Alcotest.test_case "serial = parallel: broken" `Quick test_diff_broken;
+      Alcotest.test_case "serial = parallel: multivalued" `Quick test_diff_multivalued;
+      Alcotest.test_case "serial = parallel: k-set" `Quick test_diff_kset;
+      Alcotest.test_case "serial = parallel: valency oracle" `Quick test_diff_valency;
+    ]
+    @ qcheck_cases )

@@ -18,5 +18,6 @@ let () =
       Suite_extras.suite;
       Suite_bakery_renaming.suite;
       Suite_props.suite;
+      Suite_parallel.suite;
       Suite_runtime.suite;
     ]
