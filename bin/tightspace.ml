@@ -7,7 +7,8 @@
      mutex      cost canonical mutual-exclusion executions
      encode     Fan-Lynch encoder/decoder round trip
      elect      run weak leader election under a random schedule
-     multicore  run a protocol on real domains over atomics            *)
+     multicore  run a protocol on real domains over atomics
+     resilient  check t-resilient termination under crash-stop faults  *)
 open Cmdliner
 open Ts_model
 open Ts_core
@@ -27,6 +28,7 @@ let protocol_of_name name n =
   | "broken-max" -> Ok (Protocol.Packed (Broken.naive_max ~n))
   | "broken-const" -> Ok (Protocol.Packed (Broken.oblivious_seven ~n))
   | "broken-spin" -> Ok (Protocol.Packed (Broken.insomniac ~n))
+  | "broken-wait" -> Ok (Protocol.Packed (Broken.wait_for_all ~n))
   | "swap" ->
     if n = 2 then Ok (Protocol.Packed (Swap_consensus.two_process ()))
     else Error (`Msg "swap consensus exists only for n = 2")
@@ -36,71 +38,146 @@ let protocol_of_name name n =
 let protocol_arg =
   Arg.(value & opt string "racing"
        & info [ "protocol" ] ~docv:"NAME"
-           ~doc:"Protocol: racing, racing-rand, swap, swap-chain, broken-lww, broken-max, broken-const, broken-spin.")
+           ~doc:"Protocol: racing, racing-rand, swap, swap-chain, broken-lww, broken-max, broken-const, broken-spin, broken-wait.")
+
+(* Resource-guard flags shared by the search subcommands. *)
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget; a tripped budget yields a partial result.")
+
+let max_nodes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-nodes" ] ~docv:"N"
+           ~doc:"Search-node budget across the whole invocation.")
+
+let budget_of ?deadline ?max_nodes () =
+  match deadline, max_nodes with
+  | None, None -> Budget.unlimited
+  | _ -> Budget.create ?deadline ?max_nodes ()
 
 (* witness *)
-let witness n horizon protocol diagram =
+let witness n horizon protocol diagram deadline max_nodes =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
-    let attempt () =
+    let budget = budget_of ?deadline ?max_nodes () in
+    let outcome, used =
       match horizon with
       | Some h ->
-        let t = Valency.create proto ~horizon:h in
-        Theorem.theorem1 t, h
-      | None -> Theorem.theorem1_auto proto ~initial_horizon:(10 * n) ~max_horizon:(160 * n)
+        (* an explicit horizon is a promise: no escalation, just report *)
+        let t = Valency.create ~budget proto ~horizon:h in
+        Theorem.theorem1_outcome t, h
+      | None -> Theorem.theorem1_escalate ~budget proto ~initial_horizon:(10 * n)
     in
-    (match attempt () with
-     | cert, used ->
+    (match outcome with
+     | Theorem.Complete cert ->
        Format.printf "%a@.(oracle horizon: %d)@." Theorem.pp_certificate cert used;
        if diagram then
          Format.printf "@.%s@." (Diagram.render ~n cert.Theorem.trace);
        (match Theorem.verify cert proto with
         | Ok () -> Format.printf "independent replay: verified.@."; 0
         | Error e -> Format.printf "replay FAILED: %s@." e; 1)
-     | exception Valency.Horizon_exceeded msg ->
-       Format.printf "oracle horizon too small: %s@." msg; 1
+     | Theorem.Partial (stop, progress) ->
+       Format.printf "partial result: %a@.progress: %a@." Theorem.pp_stop stop
+         Theorem.pp_progress progress;
+       (match stop with
+        | Theorem.Horizon_wall _ ->
+          Format.printf "hint: raise --horizon beyond %d (or drop it to escalate automatically).@." used
+        | Theorem.Out_of_budget _ ->
+          Format.printf "hint: raise --deadline / --max-nodes and rerun.@.");
+       2
      | exception Failure msg -> Format.printf "construction failed: %s@." msg; 1)
 
 let horizon_arg =
   Arg.(value & opt (some int) None & info [ "horizon" ] ~docv:"H"
-         ~doc:"Valency oracle search depth (default 30n+10).")
+         ~doc:"Valency oracle search depth (default: escalate from 10n).")
 
 let witness_cmd =
   let diagram =
     Arg.(value & flag & info [ "diagram" ] ~doc:"Render the witness as a space-time diagram.")
   in
   Cmd.v (Cmd.info "witness" ~doc:"Run the Zhu Theorem-1 adversary")
-    Term.(const witness $ n_arg $ horizon_arg $ protocol_arg $ diagram)
+    Term.(const witness $ n_arg $ horizon_arg $ protocol_arg $ diagram
+          $ deadline_arg $ max_nodes_arg)
 
-(* check *)
-let check n protocol max_configs max_depth =
+(* check: shared result reporting for the exploration subcommands *)
+let report_explore r =
+  let open Ts_checker.Explore in
+  List.iter
+    (fun (idx, msg) ->
+      Format.printf "worker error on input vector %d: %s@." idx msg)
+    r.worker_errors;
+  (match r.stopped with
+   | Some b ->
+     Format.printf "budget tripped (%a): verdict below is partial; raise --deadline / --max-nodes.@."
+       Budget.pp_breach b
+   | None -> ());
+  match r.verdict with
+  | Ok () ->
+    let s = r.stats in
+    Format.printf "clean: %d configurations explored (truncated: %b, deepest: %d)@."
+      s.configs_explored s.truncated s.deepest;
+    if r.worker_errors <> [] then 1 else 0
+  | Error v ->
+    Format.printf "VIOLATION: %a@." pp_violation v;
+    1
+
+let max_configs_arg =
+  Arg.(value & opt int 60_000 & info [ "max-configs" ] ~doc:"Exploration cap.")
+
+let max_depth_arg =
+  Arg.(value & opt int 40 & info [ "max-depth" ] ~doc:"Depth cap.")
+
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"D" ~doc:"Check input vectors on D domains.")
+
+let check n protocol max_configs max_depth domains deadline max_nodes =
+  match protocol_of_name protocol n with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok (Protocol.Packed proto) ->
+    report_explore
+      (Ts_checker.Explore.check_consensus proto ~domains
+         ~budget:(budget_of ?deadline ?max_nodes ())
+         ~inputs_list:(Ts_checker.Explore.binary_inputs n) ~max_configs ~max_depth
+         ~solo_budget:300 ~check_solo:true)
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"Bounded model-check a protocol")
+    Term.(const check $ n_arg $ protocol_arg $ max_configs_arg $ max_depth_arg
+          $ domains_arg $ deadline_arg $ max_nodes_arg)
+
+(* resilient *)
+let resilient n t protocol max_configs max_depth domains deadline max_nodes =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
     let r =
-      Ts_checker.Explore.check_consensus proto
+      Ts_checker.Explore.check_t_resilient proto ~domains ~t
+        ~budget:(budget_of ?deadline ?max_nodes ())
         ~inputs_list:(Ts_checker.Explore.binary_inputs n) ~max_configs ~max_depth
-        ~solo_budget:300 ~check_solo:true
+        ~solo_budget:300
     in
-    let s = r.Ts_checker.Explore.stats in
     (match r.Ts_checker.Explore.verdict with
-     | Ok () ->
-       Format.printf "clean: %d configurations explored (truncated: %b, deepest: %d)@."
-         s.Ts_checker.Explore.configs_explored s.Ts_checker.Explore.truncated
-         s.Ts_checker.Explore.deepest;
-       0
      | Error v ->
-       Format.printf "VIOLATION: %a@." Ts_checker.Explore.pp_violation v;
-       1)
+       (* a resilience witness must survive an independent replay *)
+       (match Ts_checker.Explore.replay proto v with
+        | Ok () -> Format.printf "witness replayed independently: confirmed.@."
+        | Error e -> Format.printf "witness replay FAILED: %s@." e)
+     | Ok () -> ());
+    report_explore r
 
-let check_cmd =
-  let max_configs =
-    Arg.(value & opt int 60_000 & info [ "max-configs" ] ~doc:"Exploration cap.")
+let resilient_cmd =
+  let t =
+    Arg.(value & opt int 1
+         & info [ "t" ] ~docv:"T" ~doc:"Crash-fault tolerance to check (0 <= t <= n-1).")
   in
-  let max_depth = Arg.(value & opt int 40 & info [ "max-depth" ] ~doc:"Depth cap.") in
-  Cmd.v (Cmd.info "check" ~doc:"Bounded model-check a protocol")
-    Term.(const check $ n_arg $ protocol_arg $ max_configs $ max_depth)
+  Cmd.v
+    (Cmd.info "resilient"
+       ~doc:"Check t-resilient termination under crash-stop faults")
+    Term.(const resilient $ n_arg $ t $ protocol_arg $ max_configs_arg
+          $ max_depth_arg $ domains_arg $ deadline_arg $ max_nodes_arg)
 
 (* jtt *)
 let jtt n obj =
@@ -316,10 +393,33 @@ let cover_cmd =
 let () =
   let doc = "executable reproduction of 'A Tight Space Bound for Consensus'" in
   let info = Cmd.info "tightspace" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            witness_cmd; check_cmd; jtt_cmd; mutex_cmd; encode_cmd; elect_cmd;
-            multicore_cmd; kset_cmd; multi_cmd; dot_cmd; cover_cmd;
-          ]))
+  (* Last-resort guard: engine exceptions that slip past a subcommand must
+     surface as an actionable message and a nonzero exit, never as a raw
+     backtrace. *)
+  let code =
+    try
+      Cmd.eval'
+        (Cmd.group info
+           [
+             witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
+             encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
+             dot_cmd; cover_cmd;
+           ])
+    with
+    | Valency.Horizon_exceeded msg ->
+      Format.eprintf
+        "tightspace: oracle horizon too small: %s@.hint: raise --horizon (or drop it to let the engine escalate).@."
+        msg;
+      3
+    | Budget.Exhausted b ->
+      Format.eprintf
+        "tightspace: resource budget tripped (%a).@.hint: raise --deadline / --max-nodes and rerun.@."
+        Budget.pp_breach b;
+      3
+    | Invalid_argument msg ->
+      Format.eprintf
+        "tightspace: invalid arguments: %s@.hint: check -n, --t, --k and the chosen --protocol fit together.@."
+        msg;
+      2
+  in
+  exit code

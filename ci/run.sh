@@ -3,6 +3,10 @@
 # Assumes an opam switch with OCaml >= 5.1 and the repo's dependencies
 # (fmt, logs, cmdliner, alcotest, qcheck(-alcotest,-core), bechamel)
 # already installed — see README "Install & run".
+#
+# The test and smoke steps run under `timeout`: a hung search must fail
+# the build loudly, not eat the CI time budget.  The limits are far above
+# any healthy run (tests ~1 min, smokes a few seconds).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,10 +14,22 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build @all
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (20 min cap) =="
+timeout 1200 dune runtest
 
-echo "== bench smoke (tables only, no timings) =="
-dune exec bench/main.exe -- --tables-only > /dev/null
+echo "== bench smoke (tables only, no timings; 5 min cap) =="
+timeout 300 dune exec bench/main.exe -- --tables-only > /dev/null
+
+echo "== fault-injection smoke (crash storm + t-resilience; 5 min cap) =="
+timeout 300 dune exec examples/crash_storm.exe > /dev/null
+timeout 300 dune exec bin/tightspace.exe -- resilient --protocol racing -n 3 -t 2 \
+  --max-configs 2000 --max-depth 12 > /dev/null
+# the non-resilient control must be caught (exit 1) and its witness replay
+if timeout 300 dune exec bin/tightspace.exe -- resilient --protocol broken-wait -n 3 -t 1 \
+     > /tmp/resilient-broken.out 2>&1; then
+  echo "ci: broken-wait unexpectedly passed the resilience check" >&2
+  exit 1
+fi
+grep -q "witness replayed independently: confirmed" /tmp/resilient-broken.out
 
 echo "ci: ok"

@@ -1,9 +1,16 @@
 open Ts_model
+open Ts_core
 
 type violation =
   | Agreement_violation of { inputs : Value.t array; schedule : Execution.event list; values : Value.t list }
   | Validity_violation of { inputs : Value.t array; schedule : Execution.event list; value : Value.t }
   | Solo_stuck of { inputs : Value.t array; schedule : Execution.event list; pid : int }
+  | Crash_stuck of {
+      inputs : Value.t array;
+      schedule : Execution.event list;
+      crashed : int list;
+      survivors : int list;
+    }
 
 type stats = {
   configs_explored : int;
@@ -43,6 +50,8 @@ let merge_stats a b =
 type result = {
   verdict : (unit, violation) Stdlib.result;
   stats : stats;
+  stopped : Budget.breach option;
+  worker_errors : (int * string) list;
 }
 
 (* Mutable per-search counter block, folded into a [stats] at the end. *)
@@ -73,12 +82,15 @@ let stats_of_counters c =
     solo_cache_misses = c.solo_misses;
   }
 
-(* Can [p], running alone from [cfg], decide within [budget] steps for some
-   resolution of its coin flips?  BFS over coin outcomes with a visited set
-   (BFS + visited is complete for "reachable within budget").  Both the
-   memo and the visited table key by the packed configuration. *)
-let solo_can_decide proto pk cfg p ~budget ~cache ~counters =
-  let key = Ckey.Salted.make (Ckey.pack pk cfg) p in
+(* Can some process of [ps], with only (undecided) members of [ps] taking
+   steps from [cfg], decide within [budget] steps for some resolution of
+   the coin flips?  BFS over schedules with a visited set (BFS + visited is
+   complete for "reachable within budget").  Both the memo and the visited
+   table key by the packed configuration, salted with the participant
+   mask.  [Pset.singleton p] gives the classic solo-termination probe;
+   larger sets give the survivor-group probes of the t-resilience check. *)
+let group_can_decide proto pk cfg ps ~budget ~guard ~cache ~counters =
+  let key = Ckey.Salted.make (Ckey.pack pk cfg) (Pset.to_mask ps) in
   match Ckey.Salted_tbl.find_opt cache key with
   | Some r ->
     counters.solo_hits <- counters.solo_hits + 1;
@@ -93,11 +105,11 @@ let solo_can_decide proto pk cfg p ~budget ~cache ~counters =
     (try
        while not (Queue.is_empty q) do
          let cfg, depth = Queue.pop q in
-         (match Config.has_decided cfg p with
-          | Some _ ->
-            found := true;
-            raise Exit
-          | None -> ());
+         Budget.charge guard 1;
+         if Pset.exists (fun p -> Config.has_decided cfg p <> None) ps then begin
+           found := true;
+           raise Exit
+         end;
          if depth < budget then
            let push cfg' =
              let k = Ckey.pack pk cfg' in
@@ -106,31 +118,37 @@ let solo_can_decide proto pk cfg p ~budget ~cache ~counters =
                Queue.add (cfg', depth + 1) q
              end
            in
-           match Config.poised proto cfg p with
-           | None -> ()
-           | Some Action.Flip ->
-             push (fst (Config.step proto cfg p ~coin:(Some true)));
-             push (fst (Config.step proto cfg p ~coin:(Some false)))
-           | Some _ -> push (fst (Config.step proto cfg p ~coin:None))
+           Pset.iter
+             (fun p ->
+               match Config.poised proto cfg p with
+               | None -> ()
+               | Some Action.Flip ->
+                 push (fst (Config.step proto cfg p ~coin:(Some true)));
+                 push (fst (Config.step proto cfg p ~coin:(Some false)))
+               | Some _ -> push (fst (Config.step proto cfg p ~coin:None)))
+             ps
        done
      with Exit -> ());
     Ckey.Salted_tbl.replace cache key !found;
     !found
 
+let solo_can_decide proto pk cfg p ~budget ~guard ~cache ~counters =
+  group_can_decide proto pk cfg (Pset.singleton p) ~budget ~guard ~cache ~counters
+
 exception Found of violation
 
-(* One input vector's search, self-contained: its own packer, tables,
-   budget and counters.  This is the unit of parallelism — runs of
-   different input vectors share nothing, so fanning them out over domains
-   produces bit-identical verdicts and stats. *)
-let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo =
+(* The shared BFS over one input vector's reachable configurations,
+   self-contained: its own packer, tables, budget and counters.  [examine]
+   is called on every dequeued configuration and raises [Found] to stop
+   with a violation.  This is the unit of parallelism — runs of different
+   input vectors share nothing, so fanning them out over domains produces
+   bit-identical verdicts and stats. *)
+let bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine =
   let pk = Ckey.packer proto in
-  let counters = fresh_counters () in
   (* sized to the budget, not a fixed large block: small searches (few
      dozen configurations per input vector) shouldn't pay for 4096-bucket
      tables they never fill *)
   let table_size = max 64 (min 4096 (max_configs / 8)) in
-  let solo_cache = Ckey.Salted_tbl.create (if check_solo then table_size else 1) in
   let visited = Ckey.Tbl.create table_size in
   let cfg0 = Config.initial proto ~inputs in
   (* queue holds (config, reversed schedule, depth) *)
@@ -139,7 +157,51 @@ let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
   Ckey.Tbl.replace visited (Ckey.pack pk cfg0) ();
   counters.misses <- 1;
   counters.peak <- 1;
-  let check cfg rev_sched =
+  try
+    while not (Queue.is_empty q) do
+      let cfg, rev_sched, depth = Queue.pop q in
+      counters.explored <- counters.explored + 1;
+      Budget.charge guard 1;
+      if depth > counters.deep then counters.deep <- depth;
+      examine pk cfg rev_sched;
+      if depth >= max_depth || counters.explored >= max_configs then
+        counters.trunc <- true
+      else begin
+        (* inline successor expansion: no intermediate list *)
+        let push e cfg' =
+          let key = Ckey.pack pk cfg' in
+          if Ckey.Tbl.mem visited key then counters.hits <- counters.hits + 1
+          else begin
+            counters.misses <- counters.misses + 1;
+            Ckey.Tbl.replace visited key ();
+            Queue.add (cfg', e :: rev_sched, depth + 1) q
+          end
+        in
+        for p = 0 to proto.Protocol.num_processes - 1 do
+          match Config.poised proto cfg p with
+          | None -> ()
+          | Some Action.Flip ->
+            push (Execution.flip p true) (fst (Config.step proto cfg p ~coin:(Some true)));
+            push (Execution.flip p false) (fst (Config.step proto cfg p ~coin:(Some false)))
+          | Some _ -> push (Execution.ev p) (fst (Config.step proto cfg p ~coin:None))
+        done;
+        let frontier = Queue.length q in
+        if frontier > counters.peak then counters.peak <- frontier
+      end
+    done;
+    Ok (), None
+  with
+  | Found v -> Error v, None
+  | Budget.Exhausted b ->
+    counters.trunc <- true;
+    Ok (), Some b
+
+(* One input vector's consensus-property search. *)
+let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo ~guard =
+  let counters = fresh_counters () in
+  let table_size = max 64 (min 4096 (max_configs / 8)) in
+  let solo_cache = Ckey.Salted_tbl.create (if check_solo then table_size else 1) in
+  let examine pk cfg rev_sched =
     let schedule () = List.rev rev_sched in
     let decided = Config.decided_values cfg in
     List.iter
@@ -153,53 +215,24 @@ let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
       for p = 0 to proto.Protocol.num_processes - 1 do
         if Config.has_decided cfg p = None
            && not
-                (solo_can_decide proto pk cfg p ~budget:solo_budget ~cache:solo_cache
-                   ~counters)
+                (solo_can_decide proto pk cfg p ~budget:solo_budget ~guard
+                   ~cache:solo_cache ~counters)
         then raise (Found (Solo_stuck { inputs; schedule = schedule (); pid = p }))
       done
   in
-  let verdict =
-    try
-      while not (Queue.is_empty q) do
-        let cfg, rev_sched, depth = Queue.pop q in
-        counters.explored <- counters.explored + 1;
-        if depth > counters.deep then counters.deep <- depth;
-        check cfg rev_sched;
-        if depth >= max_depth || counters.explored >= max_configs then
-          counters.trunc <- true
-        else begin
-          (* inline successor expansion: no intermediate list *)
-          let push e cfg' =
-            let key = Ckey.pack pk cfg' in
-            if Ckey.Tbl.mem visited key then counters.hits <- counters.hits + 1
-            else begin
-              counters.misses <- counters.misses + 1;
-              Ckey.Tbl.replace visited key ();
-              Queue.add (cfg', e :: rev_sched, depth + 1) q
-            end
-          in
-          for p = 0 to proto.Protocol.num_processes - 1 do
-            match Config.poised proto cfg p with
-            | None -> ()
-            | Some Action.Flip ->
-              push (Execution.flip p true) (fst (Config.step proto cfg p ~coin:(Some true)));
-              push (Execution.flip p false) (fst (Config.step proto cfg p ~coin:(Some false)))
-            | Some _ -> push (Execution.ev p) (fst (Config.step proto cfg p ~coin:None))
-          done;
-          let frontier = Queue.length q in
-          if frontier > counters.peak then counters.peak <- frontier
-        end
-      done;
-      Ok ()
-    with Found v -> Error v
+  let verdict, stopped =
+    bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine
   in
-  { verdict; stats = stats_of_counters counters }
+  { verdict; stats = stats_of_counters counters; stopped; worker_errors = [] }
 
-let check_set_agreement ?(domains = 1) ~k proto ~inputs_list ~max_configs ~max_depth
-    ~solo_budget ~check_solo =
-  let run inputs =
-    check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
-  in
+(* Fan one self-contained per-vector search out over the input vectors and
+   reassemble.  The fold walks results in input order up to and including
+   the first violation, so the parallel path (which computes results for
+   every vector) reports exactly what the serial early-exit reports.  With
+   [domains > 1] a crashed worker — a raising protocol callback, say —
+   surfaces as a per-vector entry in [worker_errors] while completed
+   sibling verdicts survive; serially the exception propagates as usual. *)
+let run_vectors ~domains run inputs_list =
   let results =
     if domains <= 1 then begin
       (* serial: stop after the first violating input vector *)
@@ -208,27 +241,141 @@ let check_set_agreement ?(domains = 1) ~k proto ~inputs_list ~max_configs ~max_d
         | inputs :: rest ->
           let r = run inputs in
           (match r.verdict with
-           | Error _ -> List.rev (r :: acc)
-           | Ok () -> go (r :: acc) rest)
+           | Error _ -> List.rev (Ok r :: acc)
+           | Ok () -> go (Ok r :: acc) rest)
       in
       go [] inputs_list
     end
-    else Par.map_list ~domains run inputs_list
+    else Par.map_list_outcomes ~domains run inputs_list
   in
-  (* Fold results up to and including the first violation (in input order).
-     The parallel path computes results for every vector but reports the
-     same prefix, so both paths return identical verdicts and stats. *)
-  let rec fold acc = function
-    | [] -> { verdict = Ok (); stats = acc }
-    | r :: rest ->
+  let rec fold acc stopped errs idx = function
+    | [] -> { verdict = Ok (); stats = acc; stopped; worker_errors = List.rev errs }
+    | Error e :: rest ->
+      fold acc stopped ((idx, Printexc.to_string e) :: errs) (idx + 1) rest
+    | Ok r :: rest ->
       let acc = merge_stats acc r.stats in
+      let stopped = if stopped = None then r.stopped else stopped in
       (match r.verdict with
-       | Error _ -> { r with stats = acc }
-       | Ok () -> fold acc rest)
+       | Error _ -> { r with stats = acc; stopped; worker_errors = List.rev errs }
+       | Ok () -> fold acc stopped errs (idx + 1) rest)
   in
-  fold empty_stats results
+  fold empty_stats None [] 0 results
 
-let check_consensus ?domains proto = check_set_agreement ?domains ~k:1 proto
+let check_set_agreement ?(domains = 1) ?(budget = Budget.unlimited) ~k proto
+    ~inputs_list ~max_configs ~max_depth ~solo_budget ~check_solo =
+  run_vectors ~domains
+    (fun inputs ->
+      check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
+        ~guard:budget)
+    inputs_list
+
+let check_consensus ?domains ?budget proto =
+  check_set_agreement ?domains ?budget ~k:1 proto
+
+(* --- crash-fault resilience ------------------------------------------- *)
+
+(* All process subsets of size [t], as Pset masks in increasing mask
+   order.  n <= 62 (Pset's representation bound), and t-resilience checks
+   are meant for small n, so plain mask enumeration is fine. *)
+let subsets_of_size n t =
+  let rec go mask acc =
+    if mask < 0 then acc
+    else
+      go (mask - 1)
+        (let rec popcount m c = if m = 0 then c else popcount (m land (m - 1)) (c + 1) in
+         if popcount mask 0 = t then
+           Pset.filter (fun p -> mask land (1 lsl p) <> 0) (Pset.all n) :: acc
+         else acc)
+  in
+  go ((1 lsl n) - 1) []
+
+(* One input vector's t-resilience search: from every reachable
+   configuration, after crash-stopping any set of exactly [t] processes
+   (smaller crash sets only enlarge the survivor group, and a group that
+   contains a live one is live), the surviving group must still be able to
+   reach a decision on its own within [solo_budget] steps. *)
+let check_resilient_from proto ~t ~inputs ~max_configs ~max_depth ~solo_budget ~guard =
+  let n = proto.Protocol.num_processes in
+  if t < 0 || t >= n then
+    invalid_arg "Explore.check_t_resilient: need 0 <= t <= n-1";
+  let crash_sets = subsets_of_size n t in
+  let counters = fresh_counters () in
+  let table_size = max 64 (min 4096 (max_configs / 8)) in
+  let cache = Ckey.Salted_tbl.create table_size in
+  let examine pk cfg rev_sched =
+    List.iter
+      (fun f ->
+        let survivors = Pset.diff (Pset.all n) f in
+        if not (group_can_decide proto pk cfg survivors ~budget:solo_budget ~guard
+                  ~cache ~counters)
+        then
+          raise
+            (Found
+               (Crash_stuck
+                  {
+                    inputs;
+                    schedule = List.rev rev_sched;
+                    crashed = Pset.to_list f;
+                    survivors = Pset.to_list survivors;
+                  })))
+      crash_sets
+  in
+  let verdict, stopped =
+    bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine
+  in
+  { verdict; stats = stats_of_counters counters; stopped; worker_errors = [] }
+
+let check_t_resilient ?(domains = 1) ?(budget = Budget.unlimited) ~t proto ~inputs_list
+    ~max_configs ~max_depth ~solo_budget =
+  run_vectors ~domains
+    (fun inputs ->
+      check_resilient_from proto ~t ~inputs ~max_configs ~max_depth ~solo_budget
+        ~guard:budget)
+    inputs_list
+
+(* --- counterexample replay -------------------------------------------- *)
+
+let values_equal xs ys =
+  List.length xs = List.length ys && List.for_all2 Value.equal xs ys
+
+(* A reported violation must survive an independent replay: re-apply its
+   schedule step by step ([Execution.apply] is [Config.step] folded) from
+   the initial configuration and re-check the claimed property failure. *)
+let replay ?(solo_budget = 300) proto violation =
+  let apply inputs schedule =
+    match Execution.apply proto (Config.initial proto ~inputs) schedule with
+    | cfg, _ -> Ok cfg
+    | exception exn -> Error ("schedule does not replay: " ^ Printexc.to_string exn)
+  in
+  let stuck_group inputs schedule group what =
+    Result.bind (apply inputs schedule) (fun cfg ->
+        match Pset.to_list (Pset.filter (fun p -> Config.has_decided cfg p <> None) group) with
+        | p :: _ -> Error (Printf.sprintf "p%d decided on replay; %s not stuck" p what)
+        | [] ->
+          let pk = Ckey.packer proto in
+          let cache = Ckey.Salted_tbl.create 64 in
+          let counters = fresh_counters () in
+          if group_can_decide proto pk cfg group ~budget:solo_budget
+               ~guard:Budget.unlimited ~cache ~counters
+          then Error (what ^ " can decide on replay")
+          else Ok ())
+  in
+  match violation with
+  | Agreement_violation { inputs; schedule; values } ->
+    Result.bind (apply inputs schedule) (fun cfg ->
+        if values_equal (Config.decided_values cfg) values then Ok ()
+        else Error "replayed configuration decides a different value set")
+  | Validity_violation { inputs; schedule; value } ->
+    Result.bind (apply inputs schedule) (fun cfg ->
+        if not (List.exists (Value.equal value) (Config.decided_values cfg)) then
+          Error "claimed invalid value not decided on replay"
+        else if Array.exists (Value.equal value) inputs then
+          Error "claimed invalid value is among the inputs"
+        else Ok ())
+  | Solo_stuck { inputs; schedule; pid } ->
+    stuck_group inputs schedule (Pset.singleton pid) (Printf.sprintf "p%d solo" pid)
+  | Crash_stuck { inputs; schedule; survivors; _ } ->
+    stuck_group inputs schedule (Pset.of_list survivors) "survivor group"
 
 let binary_inputs n =
   let rec go k =
@@ -261,3 +408,10 @@ let pp_violation ppf = function
       "solo termination violated: inputs=[%a], p%d cannot decide solo after %d prefix steps"
       Fmt.(array ~sep:(any ";") Value.pp) inputs
       pid (List.length schedule)
+  | Crash_stuck { inputs; crashed; survivors; schedule } ->
+    Fmt.pf ppf
+      "resilience violated: inputs=[%a], after %d steps crashing {%a} leaves survivors {%a} stuck"
+      Fmt.(array ~sep:(any ";") Value.pp) inputs
+      (List.length schedule)
+      Fmt.(list ~sep:comma (fmt "p%d")) crashed
+      Fmt.(list ~sep:comma (fmt "p%d")) survivors

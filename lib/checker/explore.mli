@@ -11,50 +11,84 @@
       [solo_budget] steps (for protocols with coin flips, some resolution
       of the coins decides — Zhu's "nondeterministic solo termination").
 
+    {!check_t_resilient} verifies the crash-fault analogue: from every
+    reachable configuration, crash-stopping {e any} set of at most [t]
+    processes leaves the surviving group able to reach a decision on its
+    own.  Crash-stop faults don't alter the configuration, so this is
+    group-decidability of every survivor set; by monotonicity (a superset
+    of a live group is live) only the maximal crash sets, [|F| = t], need
+    checking.
+
     Exploration is exhaustive up to [max_configs] distinct configurations
     and [max_depth] steps {e per input vector}; racing-style protocols have
     infinite reachable sets under adversarial scheduling, so a clean run is
     a *bounded* guarantee — [stats.truncated] says whether a bound was hit.
     A reported violation is always a genuine counterexample, replayable
-    from the returned schedule.
+    from the returned schedule ({!replay} does exactly that).
 
     Each input vector's search is fully self-contained (its own visited
     table, solo cache and budget), which is what makes the optional
     [?domains] fan-out sound: with [domains > 1] the vectors are checked in
     parallel on separate OCaml domains and the results reassembled in input
-    order, so verdict {e and} stats are identical to a serial run.  All
+    order, so verdict {e and} stats are identical to a serial run.  Worker
+    crashes are contained per input vector: a raising protocol callback
+    surfaces in [result.worker_errors] while sibling verdicts survive.  All
     tables key by packed configuration keys ({!Ts_model.Ckey}) rather than
-    polymorphic hashing. *)
+    polymorphic hashing.
+
+    All entry points accept a {!Ts_core.Budget} guard.  A search that trips
+    the guard stops cleanly: the verdict covers what was explored,
+    [stats.truncated] is set, and [result.stopped] records the breach —
+    a {e partial} result rather than an exception or a hang. *)
 
 open Ts_model
+open Ts_core
 
 type violation =
   | Agreement_violation of { inputs : Value.t array; schedule : Execution.event list; values : Value.t list }
   | Validity_violation of { inputs : Value.t array; schedule : Execution.event list; value : Value.t }
   | Solo_stuck of { inputs : Value.t array; schedule : Execution.event list; pid : int }
+  | Crash_stuck of {
+      inputs : Value.t array;
+      schedule : Execution.event list;
+      crashed : int list;  (** the crash set [F], sorted *)
+      survivors : int list;  (** the stuck survivor group, sorted *)
+    }
+      (** After running [schedule] from the initial configuration for
+          [inputs], crash-stopping [crashed] leaves [survivors] unable to
+          decide within the probe budget. *)
 
 type stats = {
   configs_explored : int;
-  truncated : bool;  (** true if max_configs or max_depth stopped a search *)
+  truncated : bool;  (** true if max_configs, max_depth or the budget stopped a search *)
   deepest : int;  (** depth of the deepest configuration explored *)
   table_hits : int;  (** successor already in a visited table *)
   table_misses : int;  (** fresh configurations inserted *)
   peak_frontier : int;  (** high-water mark of the BFS queue *)
-  solo_cache_hits : int;  (** solo-termination probes answered by the cache *)
-  solo_cache_misses : int;  (** solo-termination probes that ran a BFS *)
+  solo_cache_hits : int;  (** solo/group-termination probes answered by the cache *)
+  solo_cache_misses : int;  (** solo/group-termination probes that ran a BFS *)
 }
 
 type result = {
   verdict : (unit, violation) Stdlib.result;
   stats : stats;
+  stopped : Budget.breach option;
+      (** [Some b] if the {!Budget} guard stopped a search: the verdict is
+          partial, covering only what was explored before the breach. *)
+  worker_errors : (int * string) list;
+      (** Input vectors (by index into [inputs_list]) whose parallel worker
+          raised, with the exception text.  Always [[]] on serial runs,
+          where the exception propagates instead. *)
 }
 
 (** [check_consensus proto ~inputs_list ~max_configs ~max_depth ~solo_budget
     ~check_solo] explores from each initial input vector and reports the
     violation of the earliest violating vector, if any.  [?domains]
-    (default 1) fans the vectors out over that many OCaml domains. *)
+    (default 1) fans the vectors out over that many OCaml domains;
+    [?budget] (default {!Budget.unlimited}) bounds the whole call. *)
 val check_consensus :
   ?domains:int ->
+  ?budget:Budget.t ->
   's Protocol.t ->
   inputs_list:Value.t array list ->
   max_configs:int ->
@@ -69,6 +103,7 @@ val check_consensus :
     [k = 1] case. *)
 val check_set_agreement :
   ?domains:int ->
+  ?budget:Budget.t ->
   k:int ->
   's Protocol.t ->
   inputs_list:Value.t array list ->
@@ -77,6 +112,35 @@ val check_set_agreement :
   solo_budget:int ->
   check_solo:bool ->
   result
+
+(** [check_t_resilient ~t proto ~inputs_list ~max_configs ~max_depth
+    ~solo_budget] verifies [t]-resilient termination: from every reachable
+    configuration, for every crash set [F] with [|F| = t], the survivor
+    group [all - F] can still decide within [solo_budget] steps.  A failure
+    is a {!Crash_stuck} witness; {!replay} re-validates it independently.
+    [t = 0] degenerates to joint termination of the full group;
+    [t = n - 1] is wait-freedom of every solo survivor.
+    @raise Invalid_argument unless [0 <= t <= n-1]. *)
+val check_t_resilient :
+  ?domains:int ->
+  ?budget:Budget.t ->
+  t:int ->
+  's Protocol.t ->
+  inputs_list:Value.t array list ->
+  max_configs:int ->
+  max_depth:int ->
+  solo_budget:int ->
+  result
+
+(** [replay proto v] independently re-validates a reported violation:
+    re-applies its schedule step by step from the initial configuration
+    (via {!Ts_model.Execution.apply}, i.e. [Config.step] folded) and
+    re-checks the claimed property failure on the resulting configuration.
+    [solo_budget] (default 300) bounds the re-run decidability probes for
+    [Solo_stuck]/[Crash_stuck].  [Ok ()] means the counterexample is
+    genuine; [Error msg] says what failed to reproduce. *)
+val replay :
+  ?solo_budget:int -> 's Protocol.t -> violation -> (unit, string) Stdlib.result
 
 (** All 2^n binary input vectors for [n] processes. *)
 val binary_inputs : int -> Value.t array list

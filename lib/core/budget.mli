@@ -1,0 +1,53 @@
+(** Resource guards for the search engine.
+
+    The adversary constructions are unbounded searches over infinite-state
+    protocols: an undersized horizon, a pathological protocol, or an
+    over-ambitious [n] can otherwise hang a run or eat the heap.  A
+    [Budget.t] is a shared guard — wall-clock deadline, search-node cap,
+    live-heap high-water mark — that every search loop charges as it
+    expands nodes.  When a limit trips, the loop raises {!Exhausted}; the
+    engine's public entry points catch it and return a structured
+    {e partial} outcome recording how far they got, instead of hanging or
+    surfacing a backtrace.
+
+    One budget is meant to span a whole run: the valency oracle, the
+    lemma walks and the checker all charge the same counter (an [Atomic],
+    so domain-parallel searches charge it safely), which is what makes
+    "this invocation gets 10 seconds and 5M nodes, total" enforceable. *)
+
+type breach =
+  | Deadline of float  (** the wall-clock allowance, in seconds *)
+  | Node_cap of int  (** the search-node allowance *)
+  | Heap_cap of int  (** the live major-heap allowance, in words *)
+
+exception Exhausted of breach
+
+type t
+
+(** The no-op guard: never trips, charges cost one branch. *)
+val unlimited : t
+
+(** [create ?deadline ?max_nodes ?max_heap_words ()] starts the clock now:
+    [deadline] is seconds of wall-clock from this call.  Omitted limits
+    don't apply.
+    @raise Invalid_argument if a given limit is not positive. *)
+val create : ?deadline:float -> ?max_nodes:int -> ?max_heap_words:int -> unit -> t
+
+val is_unlimited : t -> bool
+
+(** Search nodes charged so far. *)
+val spent : t -> int
+
+(** [charge t k] adds [k] search nodes and raises {!Exhausted} if any limit
+    is now breached.  The node cap is checked on every call; the clock and
+    the heap are sampled every few hundred nodes. *)
+val charge : t -> int -> unit
+
+(** [check t] re-checks every limit without charging.  For loops whose unit
+    of work is not node expansion (lemma walks, retry loops). *)
+val check : t -> unit
+
+(** The first limit currently breached, without raising. *)
+val breached : t -> breach option
+
+val pp_breach : Format.formatter -> breach -> unit

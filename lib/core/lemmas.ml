@@ -40,6 +40,7 @@ let lemma1 t c p =
     let rec walk cfg prefix_rev = function
       | [] -> fail "lemma1: walked the whole witness without finding z"
       | e :: rest ->
+        Budget.check (Valency.budget t);
         let cfg', _ = apply_schedule t cfg [ e ] in
         let prefix_rev = e :: prefix_rev in
         (match find_z cfg' with
@@ -126,6 +127,7 @@ let lemma3 t c ~p ~r =
   let rec walk cfg phi_rev = function
     | [] -> fail "lemma3: walked the whole witness, R still decides v after β"
     | e :: rest ->
+      Budget.check (Valency.budget t);
       let cfg', _ = apply_schedule t cfg [ e ] in
       if r_can_decide_v cfg' then walk cfg' (e :: phi_rev) rest
       else begin

@@ -48,6 +48,7 @@ let rec lemma4 t c p =
     let max_rounds = (1 lsl min proto.Protocol.num_registers 16) + 2 in
     (* Walk D_i -> D_{i+1} until two rounds cover the same register set. *)
     let rec build d_i q_i round =
+      Budget.check (Valency.budget t);
       if round > max_rounds then
         fail "lemma4: no pigeonhole repeat after %d rounds" max_rounds;
       let r_i = Pset.diff p' q_i in
@@ -208,19 +209,70 @@ let theorem1 t =
     finish schedule covered fresh
   end
 
+type progress = {
+  horizon : int;
+  searches : int;
+  nodes_expanded : int;
+}
+
+type stop =
+  | Out_of_budget of Budget.breach
+  | Horizon_wall of string
+
+type outcome =
+  | Complete of certificate
+  | Partial of stop * progress
+
+let progress_of t =
+  let s = Valency.stats t in
+  { horizon = Valency.horizon t; searches = s.Valency.searches;
+    nodes_expanded = s.Valency.nodes_expanded }
+
+let theorem1_outcome t =
+  match theorem1 t with
+  | cert -> Complete cert
+  | exception Budget.Exhausted b ->
+    Engine_log.Log.info (fun m ->
+        m "theorem1: partial after %d searches — %a" (Valency.searches t)
+          Budget.pp_breach b);
+    Partial (Out_of_budget b, progress_of t)
+  | exception Valency.Horizon_exceeded msg ->
+    Engine_log.Log.info (fun m ->
+        m "theorem1: horizon %d insufficient (%s)" (Valency.horizon t) msg);
+    Partial (Horizon_wall msg, progress_of t)
+
+(* Adaptive horizon escalation: geometric backoff on an exhausted horizon,
+   at most [retries] doublings, a fresh oracle per attempt.  The budget is
+   shared across attempts — it guards the whole escalation, so a capped
+   run returns [Partial (Out_of_budget _, _)] instead of looping. *)
+let theorem1_escalate ?(budget = Budget.unlimited) ?(retries = 4) proto ~initial_horizon =
+  if initial_horizon < 1 then invalid_arg "Theorem.theorem1_escalate: bad initial horizon";
+  if retries < 0 then invalid_arg "Theorem.theorem1_escalate: negative retries";
+  let rec go horizon attempt =
+    let t = Valency.create ~budget proto ~horizon in
+    match theorem1_outcome t with
+    | Partial (Horizon_wall msg, _) when attempt < retries ->
+      Engine_log.Log.info (fun m ->
+          m "horizon %d insufficient (%s); deepening to %d" horizon msg (2 * horizon));
+      go (2 * horizon) (attempt + 1)
+    | outcome -> outcome, horizon
+  in
+  go initial_horizon 0
+
 let theorem1_auto proto ~initial_horizon ~max_horizon =
   if initial_horizon < 1 || initial_horizon > max_horizon then
     invalid_arg "Theorem.theorem1_auto: bad horizon range";
-  let rec go horizon =
-    let t = Valency.create proto ~horizon in
-    match theorem1 t with
-    | cert -> cert, horizon
-    | exception Valency.Horizon_exceeded msg ->
-      Engine_log.Log.info (fun m -> m "horizon %d insufficient (%s); deepening" horizon msg);
-      if 2 * horizon > max_horizon then raise (Valency.Horizon_exceeded msg)
-      else go (2 * horizon)
+  (* largest number of doublings that stays within max_horizon *)
+  let retries =
+    let rec go h r = if 2 * h > max_horizon then r else go (2 * h) (r + 1) in
+    go initial_horizon 0
   in
-  go initial_horizon
+  match theorem1_escalate proto ~initial_horizon ~retries with
+  | Complete cert, horizon -> cert, horizon
+  | Partial (Horizon_wall msg, _), _ -> raise (Valency.Horizon_exceeded msg)
+  | Partial (Out_of_budget b, _), _ ->
+    (* unreachable: escalate ran with the unlimited budget *)
+    raise (Budget.Exhausted b)
 
 let verify cert (proto : 's Protocol.t) =
   if proto.Protocol.num_processes <> cert.n then Error "process count mismatch"
@@ -238,6 +290,14 @@ let verify cert (proto : 's Protocol.t) =
           (Printf.sprintf "only %d registers written, expected >= %d"
              (List.length written) (cert.n - 1))
       else Ok ()
+
+let pp_stop ppf = function
+  | Out_of_budget b -> Budget.pp_breach ppf b
+  | Horizon_wall msg -> Fmt.pf ppf "oracle horizon exhausted: %s" msg
+
+let pp_progress ppf p =
+  Fmt.pf ppf "horizon %d, %d valency searches over %d nodes" p.horizon p.searches
+    p.nodes_expanded
 
 let pp_certificate ppf c =
   Fmt.pf ppf

@@ -48,13 +48,53 @@ type certificate = {
     @raise Invalid_argument if the protocol has fewer than 2 processes. *)
 val theorem1 : 's Valency.t -> certificate
 
+(** How far a stopped construction got: the horizon it was using and the
+    oracle work it had spent. *)
+type progress = {
+  horizon : int;
+  searches : int;
+  nodes_expanded : int;
+}
+
+(** Why a construction stopped short of a certificate. *)
+type stop =
+  | Out_of_budget of Budget.breach  (** the {!Budget} guard tripped *)
+  | Horizon_wall of string  (** the oracle horizon could not verify a step *)
+
+type outcome =
+  | Complete of certificate
+  | Partial of stop * progress
+
+(** [theorem1_outcome t] is {!theorem1} with structured degradation: a
+    tripped {!Budget} or an exhausted horizon yields [Partial] (logged via
+    [Engine_log]) instead of an exception.  [Invalid_argument] (caller
+    errors) still raises. *)
+val theorem1_outcome : 's Valency.t -> outcome
+
+(** [theorem1_escalate ?budget ?retries proto ~initial_horizon] is the
+    adaptive wrapper: on [Horizon_wall] the horizon doubles (geometric
+    backoff, a fresh oracle per attempt) up to [retries] times (default 4).
+    [budget] (default unlimited) spans {e all} attempts, so a capped run
+    degrades to [Partial (Out_of_budget _, _)] rather than hanging.
+    Returns the outcome and the last horizon tried. *)
+val theorem1_escalate :
+  ?budget:Budget.t ->
+  ?retries:int ->
+  's Protocol.t ->
+  initial_horizon:int ->
+  outcome * int
+
 (** [theorem1_auto proto ~initial_horizon ~max_horizon] runs {!theorem1}
     with iterative deepening: on [Horizon_exceeded] the horizon doubles (a
     fresh oracle each time) until the construction succeeds or
-    [max_horizon] is passed.  Returns the certificate and the horizon that
-    sufficed. *)
+    [max_horizon] is passed (in which case [Horizon_exceeded] is
+    re-raised).  Returns the certificate and the horizon that sufficed.
+    The exception-free equivalent is {!theorem1_escalate}. *)
 val theorem1_auto :
   's Protocol.t -> initial_horizon:int -> max_horizon:int -> certificate * int
+
+val pp_stop : Format.formatter -> stop -> unit
+val pp_progress : Format.formatter -> progress -> unit
 
 (** [verify cert proto] independently replays the certificate's schedule on
     a fresh initial configuration of [proto] and re-checks the register

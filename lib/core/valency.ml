@@ -28,6 +28,7 @@ type 's t = {
   proto : 's Protocol.t;
   horizon : int;
   parallel : bool;
+  budget : Budget.t;
   memo : Execution.event list option Memo.t;
   pk : 's Ckey.packer;  (* coordinator-domain packer for memo keys *)
   mutable searches : int;
@@ -37,11 +38,12 @@ type 's t = {
   mutable peak_frontier : int;
 }
 
-let create ?(parallel = false) proto ~horizon =
+let create ?(parallel = false) ?(budget = Budget.unlimited) proto ~horizon =
   {
     proto;
     horizon;
     parallel;
+    budget;
     memo = Memo.create 4096;
     pk = Ckey.packer proto;
     searches = 0;
@@ -53,6 +55,7 @@ let create ?(parallel = false) proto ~horizon =
 
 let protocol t = t.proto
 let horizon t = t.horizon
+let budget t = t.budget
 let searches t = t.searches
 
 let stats t =
@@ -88,10 +91,15 @@ let search t cfg ps v =
   let result = ref None in
   let nodes = ref 0 in
   let peak = ref 1 in
+  (* a tripped budget is captured, not raised: the caller's [record] must
+     account this search's work first (and, under [parallel], the raise
+     must happen on the coordinator's domain, after the join) *)
+  let stop = ref None in
   (try
      while not (Queue.is_empty q) do
        let cfg, rev_sched, depth = Queue.pop q in
        incr nodes;
+       Budget.charge t.budget 1;
        if decided_here cfg v then begin
          result := Some (List.rev rev_sched);
          raise Exit
@@ -118,14 +126,18 @@ let search t cfg ps v =
          if frontier > !peak then peak := frontier
        end
      done
-   with Exit -> ());
-  !result, !nodes, !peak
+   with
+   | Exit -> ()
+   | Budget.Exhausted _ as e -> stop := Some e);
+  !result, !nodes, !peak, !stop
 
-let record t (result, nodes, peak) =
+let record t (result, nodes, peak, stop) =
   t.searches <- t.searches + 1;
   t.nodes_expanded <- t.nodes_expanded + nodes;
   if peak > t.peak_frontier then t.peak_frontier <- peak;
-  result
+  (* an aborted search has no trustworthy answer: re-raise (after the
+     accounting above) and never memoize it *)
+  match stop with Some e -> raise e | None -> result
 
 let memo_key t cfg ps v =
   { Memo_key.ck = Ckey.pack t.pk cfg; mask = Pset.to_mask ps; v = Value.to_int v }

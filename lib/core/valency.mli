@@ -30,15 +30,22 @@ exception Horizon_exceeded of string
 (** Raised by engine components when a bounded-search answer could not be
     verified; retry with a larger horizon. *)
 
-(** [create ?parallel proto ~horizon] builds an oracle.  With
+(** [create ?parallel ?budget proto ~horizon] builds an oracle.  With
     [parallel:true], {!classify}'s two independent probes run concurrently
     on separate OCaml domains when both miss the memo table; answers are
     identical to the serial oracle's.  All visited/memo tables key by
-    packed configurations ({!Ts_model.Ckey}). *)
-val create : ?parallel:bool -> 's Protocol.t -> horizon:int -> 's t
+    packed configurations ({!Ts_model.Ckey}).  Every search charges
+    [budget] (default {!Budget.unlimited}) one node per expanded
+    configuration and raises {!Budget.Exhausted} when it trips; the
+    outcome-returning wrappers in {!Theorem} catch that and report a
+    partial result. *)
+val create : ?parallel:bool -> ?budget:Budget.t -> 's Protocol.t -> horizon:int -> 's t
 
 val protocol : 's t -> 's Protocol.t
 val horizon : 's t -> int
+
+(** The resource guard this oracle charges. *)
+val budget : 's t -> Budget.t
 
 (** [can_decide t cfg ps v] is a P-only schedule from [cfg] after which [v]
     is decided, if the bounded search finds one.  A configuration in which

@@ -1,0 +1,91 @@
+type pid = int
+
+type trigger =
+  | After_steps of int
+  | Before_write
+
+type plan = {
+  crashes : (pid * trigger) list;
+  seed : int option;
+}
+
+let none = { crashes = []; seed = None }
+
+let of_list crashes =
+  let pids = List.map fst crashes in
+  if List.length (List.sort_uniq Int.compare pids) <> List.length pids then
+    invalid_arg "Fault.of_list: duplicate pid";
+  List.iter
+    (function
+      | _, After_steps k when k < 0 -> invalid_arg "Fault.of_list: negative step count"
+      | _ -> ())
+    crashes;
+  { crashes; seed = None }
+
+let crash_after p k = of_list [ p, After_steps k ]
+let crash_before_write p = of_list [ p, Before_write ]
+
+let union a b =
+  let merged = of_list (a.crashes @ b.crashes) in
+  { merged with seed = (match a.seed with Some _ -> a.seed | None -> b.seed) }
+
+let random ~seed ~n ~t ~max_delay =
+  if t < 0 || t > n then invalid_arg "Fault.random: need 0 <= t <= n";
+  if max_delay < 0 then invalid_arg "Fault.random: negative max_delay";
+  let rng = Rng.create seed in
+  let victims = Array.sub (Rng.permutation rng n) 0 t in
+  let crashes =
+    Array.to_list victims
+    |> List.map (fun p -> p, After_steps (Rng.int rng (max_delay + 1)))
+  in
+  { crashes; seed = Some seed }
+
+let crashes plan = plan.crashes
+let seed plan = plan.seed
+let is_empty plan = plan.crashes = []
+
+let pp_trigger ppf = function
+  | After_steps k -> Fmt.pf ppf "after %d steps" k
+  | Before_write -> Fmt.string ppf "before next write"
+
+let pp ppf plan =
+  if is_empty plan then Fmt.string ppf "no faults"
+  else
+    Fmt.pf ppf "@[<h>crash {%a}%a@]"
+      Fmt.(list ~sep:comma (pair ~sep:(any " ") (fmt "p%d") pp_trigger))
+      plan.crashes
+      Fmt.(option (fmt " (seed %d)"))
+      plan.seed
+
+type tracker = {
+  plan : plan;
+  mutable pending : (pid * trigger) list;
+  mutable down : Pset.t;
+  steps : (pid, int) Hashtbl.t;
+}
+
+let tracker plan = { plan; pending = plan.crashes; down = Pset.empty; steps = Hashtbl.create 8 }
+
+let steps_taken tr p = Option.value ~default:0 (Hashtbl.find_opt tr.steps p)
+
+let note_step tr p = Hashtbl.replace tr.steps p (steps_taken tr p + 1)
+
+let crashed tr p = Pset.mem p tr.down
+let crashed_pids tr = Pset.to_list tr.down
+
+let due tr proto cfg (p, trig) =
+  Config.has_decided cfg p = None
+  &&
+  match trig with
+  | After_steps k -> steps_taken tr p >= k
+  | Before_write ->
+    (match Config.poised proto cfg p with
+     | Some a -> Action.written_register a <> None
+     | None -> false)
+
+let fire tr proto cfg =
+  if tr.pending <> [] then begin
+    let fired, pending = List.partition (due tr proto cfg) tr.pending in
+    tr.pending <- pending;
+    List.iter (fun (p, _) -> tr.down <- Pset.add p tr.down) fired
+  end

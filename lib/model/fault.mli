@@ -1,0 +1,76 @@
+(** Crash-stop fault plans.
+
+    Zhu's model is asynchronous shared memory with crash failures: a
+    crashed process simply stops taking steps, its local state and any
+    registers it wrote untouched.  A {!plan} describes which processes
+    crash and when; {!Sim.run} consults it at every scheduling point, so
+    the same plan replays the same crashes under the same schedule.
+
+    Two trigger shapes cover the interesting adversaries:
+
+    - {!After_steps}: crash once the process has taken that many steps —
+      the basic crash-at-time-k fault;
+    - {!Before_write}: crash the moment the process is poised to write —
+      the worst case for covering arguments, since the pending write (and
+      the information it would publish) is lost forever.
+
+    Plans are immutable and printable; seeded random plans record their
+    seed so a failing storm run can be rebuilt exactly. *)
+
+type pid = int
+
+type trigger =
+  | After_steps of int  (** crash once the process has taken this many steps *)
+  | Before_write  (** crash when next poised to write (or swap) a register *)
+
+type plan
+
+(** The empty plan: no process ever crashes. *)
+val none : plan
+
+(** [of_list crashes] crashes each listed process at its trigger.  A pid
+    may appear at most once.
+    @raise Invalid_argument on duplicate pids or negative step counts. *)
+val of_list : (pid * trigger) list -> plan
+
+(** [crash_after p k] is [of_list [p, After_steps k]]. *)
+val crash_after : pid -> int -> plan
+
+(** [crash_before_write p] is [of_list [p, Before_write]]. *)
+val crash_before_write : pid -> plan
+
+(** [union a b] crashes everything either plan crashes.
+    @raise Invalid_argument if the plans share a pid. *)
+val union : plan -> plan -> plan
+
+(** [random ~seed ~n ~t ~max_delay] picks [t] distinct processes out of
+    [0..n-1] uniformly (via {!Rng} from [seed]) and crashes each after a
+    uniform delay in [0, max_delay] steps.  The seed is recorded in the
+    plan and printed by {!pp}, so the storm is replayable.
+    @raise Invalid_argument unless [0 <= t <= n]. *)
+val random : seed:int -> n:int -> t:int -> max_delay:int -> plan
+
+val crashes : plan -> (pid * trigger) list
+val seed : plan -> int option
+val is_empty : plan -> bool
+val pp : Format.formatter -> plan -> unit
+
+(** A tracker is the mutable per-run state of a plan: which crashes have
+    fired and how many steps each process has taken.  One tracker per
+    simulation run. *)
+type tracker
+
+val tracker : plan -> tracker
+
+(** [fire tr proto cfg] evaluates the pending triggers at a scheduling
+    point and marks any that are due as crashed.  A process that has
+    already decided cannot crash (its decision stands). *)
+val fire : tracker -> 's Protocol.t -> 's Config.t -> unit
+
+(** [note_step tr p] records that [p] took a step. *)
+val note_step : tracker -> pid -> unit
+
+val crashed : tracker -> pid -> bool
+
+(** Crashed pids so far, sorted. *)
+val crashed_pids : tracker -> pid list

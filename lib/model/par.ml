@@ -2,7 +2,9 @@
    pattern as Ts_runtime.Atomic_run, but dependency-free so the checker and
    core layers can use it).  Workers share nothing mutable: each returns
    its (index, result) pairs and the parent reassembles them in order, so
-   parallel runs are observationally identical to serial ones. *)
+   parallel runs are observationally identical to serial ones.  Workers
+   catch everything and every spawned domain is joined before the parent
+   returns or re-raises, so a raising item never leaks a domain. *)
 
 let available_domains () = Domain.recommended_domain_count ()
 
@@ -12,15 +14,14 @@ type 'a outcome =
 
 let catch f x = try Done (f x) with e -> Raised (e, Printexc.get_raw_backtrace ())
 
-(* [map_list ~domains f xs]: like [List.map f xs] but strided over a pool
-   of [domains] domains (the caller's domain is one of them).  Exceptions
-   are re-raised in item order, matching what a serial left-to-right map
-   would have surfaced first. *)
-let map_list ~domains f xs =
-  let items = Array.of_list xs in
+(* Strided fan-out shared by both maps: apply [catch f] to every item over
+   a pool of [domains] domains (the caller's domain is one of them) and
+   reassemble the outcomes in item order.  Total: every item gets exactly
+   one outcome, whatever f raised. *)
+let outcomes_array ~domains f items =
   let n = Array.length items in
   let domains = max 1 (min domains n) in
-  if domains = 1 then List.map f xs
+  if domains = 1 then Array.map (catch f) items
   else begin
     let worker k () =
       let acc = ref [] in
@@ -36,19 +37,35 @@ let map_list ~domains f xs =
     let collect = List.iter (fun (i, r) -> results.(i) <- Some r) in
     collect (worker 0 ());
     Array.iter (fun d -> collect (Domain.join d)) spawned;
-    Array.to_list results
-    |> List.map (function
-      | Some (Done v) -> v
-      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
-      | None -> assert false)
+    Array.map (function Some r -> r | None -> assert false) results
   end
+
+(* [map_list ~domains f xs]: like [List.map f xs] but strided over a pool
+   of [domains] domains.  Exceptions are re-raised in item order, matching
+   what a serial left-to-right map would have surfaced first. *)
+let map_list ~domains f xs =
+  if domains <= 1 || List.compare_length_with xs 1 <= 0 then List.map f xs
+  else
+    outcomes_array ~domains f (Array.of_list xs)
+    |> Array.to_list
+    |> List.map (function
+      | Done v -> v
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+(* Outcome-preserving variant: a raising item becomes [Error exn] in place
+   while every completed sibling's result survives. *)
+let map_list_outcomes ~domains f xs =
+  outcomes_array ~domains f (Array.of_list xs)
+  |> Array.to_list
+  |> List.map (function Done v -> Ok v | Raised (e, _) -> Error e)
 
 (* Run two independent thunks, one on a fresh domain.  Always joins before
    re-raising so no domain is leaked. *)
 let both f g =
-  let d = Domain.spawn g in
+  let d = Domain.spawn (fun () -> catch g ()) in
   let a = catch f () in
   let b = Domain.join d in
-  match a with
-  | Done a -> a, b
-  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  match a, b with
+  | Done a, Done b -> a, b
+  | Raised (e, bt), _ -> Printexc.raise_with_backtrace e bt
+  | _, Raised (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -3,7 +3,9 @@
     Same [Domain.spawn]/[join] pattern as [Ts_runtime.Atomic_run], but
     dependency-free so the checker and core layers can use it.  Workers
     share no mutable state; results are reassembled in input order, so a
-    parallel run is observationally identical to a serial one. *)
+    parallel run is observationally identical to a serial one.  Workers
+    catch everything and every spawned domain is joined before control
+    returns, so a raising item never leaks a domain. *)
 
 (** The runtime's recommended domain count for this machine. *)
 val available_domains : unit -> int
@@ -14,6 +16,14 @@ val available_domains : unit -> int
     exactly what a serial left-to-right map would have surfaced. *)
 val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [map_list_outcomes ~domains f xs] is the fault-contained variant: each
+    item maps to [Ok (f x)], or [Error exn] if that application raised.
+    One crashing worker item never discards a completed sibling's result —
+    this is what lets a search fan-out degrade per-item instead of
+    wholesale. *)
+val map_list_outcomes : domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
 (** [both f g] runs the two thunks concurrently (one on a fresh domain) and
-    returns both results; always joins before re-raising. *)
+    returns both results; always joins before re-raising (preferring [f]'s
+    exception when both raise). *)
 val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b

@@ -2,6 +2,8 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
 
 (* splitmix64: fast, well distributed, trivially reproducible. *)
 let bits64 t =

@@ -11,6 +11,15 @@ val create : int -> t
 
 val copy : t -> t
 
+val state : t -> int64
+(** [state t] is the generator's current internal state.  Any splitmix64
+    state is itself a valid seed: [of_state (state t)] replays the exact
+    stream [t] would produce from here on — the replay token {!Sim.run}
+    records for randomized schedules. *)
+
+val of_state : int64 -> t
+(** [of_state s] is a generator resuming from a captured {!state}. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
     [bound <= 0]. *)

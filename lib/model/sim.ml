@@ -12,54 +12,69 @@ type 's outcome = {
   steps : int;
   trace : Execution.trace;
   ran_out : bool;
+  crashed : pid list;
+  rng_state : int64 option;
 }
 
-let undecided proto cfg =
+(* A process is runnable if it has neither decided nor crashed. *)
+let runnable tracker proto cfg =
   let n = proto.Protocol.num_processes in
-  let rec go p acc = if p < 0 then acc else
-      go (p - 1) (if Config.has_decided cfg p = None then p :: acc else acc)
+  let rec go p acc =
+    if p < 0 then acc
+    else
+      go (p - 1)
+        (if Config.has_decided cfg p = None && not (Fault.crashed tracker p) then p :: acc
+         else acc)
   in
   go (n - 1) []
 
-let relevant_done proto cfg policy =
-  match policy with
-  | Round_robin | Random _ -> undecided proto cfg = []
-  | Solo p -> Config.has_decided cfg p <> None
-  | Alternating (p, q) ->
-    Config.has_decided cfg p <> None && Config.has_decided cfg q <> None
+let halted tracker cfg p = Config.has_decided cfg p <> None || Fault.crashed tracker p
 
-let pick proto cfg policy tick =
-  let alive = undecided proto cfg in
+(* The run is over when every relevant process has decided or crashed:
+   crashed processes never decide, so waiting on them would spin forever. *)
+let relevant_done tracker proto cfg policy =
+  match policy with
+  | Round_robin | Random _ -> runnable tracker proto cfg = []
+  | Solo p -> halted tracker cfg p
+  | Alternating (p, q) -> halted tracker cfg p && halted tracker cfg q
+
+let pick tracker proto cfg policy tick =
+  let alive = runnable tracker proto cfg in
   match policy with
   | Round_robin ->
     let n = proto.Protocol.num_processes in
     let rec find k =
       let p = (tick + k) mod n in
-      if Config.has_decided cfg p = None then p else find (k + 1)
+      if halted tracker cfg p then find (k + 1) else p
     in
     find 0
   | Random rng -> List.nth alive (Rng.int rng (List.length alive))
   | Solo p -> p
   | Alternating (p, q) ->
-    let cands = List.filter (fun x -> Config.has_decided cfg x = None) [ p; q ] in
-    (match cands with
+    (match List.filter (fun x -> not (halted tracker cfg x)) [ p; q ] with
      | [ x ] -> x
      | [ x; y ] -> if tick mod 2 = 0 then x else y
-     | _ -> invalid_arg "Sim.run: alternating processes already decided")
+     | _ -> invalid_arg "Sim.run: alternating processes already halted")
 
-let run proto ~inputs ~policy ~flips ~budget =
+let run ?(faults = Fault.none) proto ~inputs ~policy ~flips ~budget =
+  let rng_state =
+    match policy with Random rng -> Some (Rng.state rng) | _ -> None
+  in
+  let tracker = Fault.tracker faults in
   let cfg0 = Config.initial proto ~inputs in
   let rec go cfg acc steps =
-    if relevant_done proto cfg policy then cfg, acc, steps, false
+    Fault.fire tracker proto cfg;
+    if relevant_done tracker proto cfg policy then cfg, acc, steps, false
     else if steps >= budget then cfg, acc, steps, true
     else
-      let p = pick proto cfg policy steps in
+      let p = pick tracker proto cfg policy steps in
       let coin =
         match Config.poised proto cfg p with
         | Some Action.Flip -> Some (flips ())
         | _ -> None
       in
       let cfg', action = Config.step proto cfg p ~coin in
+      Fault.note_step tracker p;
       go cfg' ({ Execution.actor = p; action; coin_used = coin } :: acc) (steps + 1)
   in
   let final, rev_trace, steps, ran_out = go cfg0 [] 0 in
@@ -68,7 +83,15 @@ let run proto ~inputs ~policy ~flips ~budget =
         Option.map (fun v -> p, v) (Config.has_decided final p))
     |> List.filter_map Fun.id
   in
-  { final; decisions; steps; trace = List.rev rev_trace; ran_out }
+  {
+    final;
+    decisions;
+    steps;
+    trace = List.rev rev_trace;
+    ran_out;
+    crashed = Fault.crashed_pids tracker;
+    rng_state;
+  }
 
 let agreement outcome =
   match List.sort_uniq Value.compare (List.map snd outcome.decisions) with

@@ -2,13 +2,19 @@
 
     These are the workload generators for the upper-bound experiments: they
     run a protocol instance to completion under a scheduling policy and
-    report what happened (decisions, steps, registers touched). *)
+    report what happened (decisions, steps, registers touched).
+
+    Runs may be subjected to a crash-stop {!Fault.plan}: crashed processes
+    take no further steps and are dropped from the termination condition —
+    the run ends when every {e surviving} relevant process has decided.
+    Crashes are evaluated at every scheduling point, so a plan plus a
+    deterministic (or state-captured random) schedule replays exactly. *)
 
 type pid = int
 
 type policy =
-  | Round_robin  (** p0 p1 ... pn-1 p0 p1 ... skipping decided processes *)
-  | Random of Rng.t  (** uniformly random undecided process each step *)
+  | Round_robin  (** p0 p1 ... pn-1 p0 p1 ... skipping halted processes *)
+  | Random of Rng.t  (** uniformly random runnable process each step *)
   | Solo of pid  (** only [pid] takes steps (obstruction-free run) *)
   | Alternating of pid * pid  (** two processes in lockstep *)
 
@@ -18,13 +24,21 @@ type 's outcome = {
   steps : int;  (** total steps taken *)
   trace : Execution.trace;
   ran_out : bool;  (** true if the step budget was exhausted first *)
+  crashed : pid list;  (** processes crashed by the fault plan, sorted *)
+  rng_state : int64 option;
+      (** for [Random] policies: the generator state at the start of the
+          run.  Re-running with [Random (Rng.of_state s)] (and a [flips]
+          drawing from that same generator) replays the run exactly — the
+          replay token to print when a randomized run fails. *)
 }
 
 (** [run proto ~inputs ~policy ~flips ~budget] drives the system until every
-    *relevant* process has decided (all of them for [Round_robin]/[Random],
-    the named ones for [Solo]/[Alternating]) or [budget] steps have been
-    taken.  Coin flips are resolved by [flips]. *)
+    *relevant* process has decided or crashed (all of them for
+    [Round_robin]/[Random], the named ones for [Solo]/[Alternating]) or
+    [budget] steps have been taken.  Coin flips are resolved by [flips];
+    [faults] (default {!Fault.none}) injects crash-stop failures. *)
 val run :
+  ?faults:Fault.plan ->
   's Protocol.t ->
   inputs:Value.t array ->
   policy:policy ->

@@ -8,6 +8,9 @@ type state =
   | Max_decide of int
   | Const of int
   | Spin
+  | Wait of { me : int; input : int }
+  | Wait_scan of { me : int; n : int; input : int; pos : int; best : int }
+  | Wait_decide of int
 
 let pp_state ppf = function
   | Lww { input; stage } -> Fmt.pf ppf "lww(%d,@%d)" input stage
@@ -17,6 +20,9 @@ let pp_state ppf = function
   | Max_decide v -> Fmt.pf ppf "max-d(%d)" v
   | Const v -> Fmt.pf ppf "const(%d)" v
   | Spin -> Fmt.string ppf "spin"
+  | Wait { input; _ } -> Fmt.pf ppf "wait(%d)" input
+  | Wait_scan { pos; best; _ } -> Fmt.pf ppf "wait-scan(@%d,best=%d)" pos best
+  | Wait_decide v -> Fmt.pf ppf "wait-d(%d)" v
 
 let encode_state buf = function
   | Lww { input; stage } ->
@@ -45,6 +51,19 @@ let encode_state buf = function
     Buffer.add_char buf 'C';
     Value.add_varint buf v
   | Spin -> Buffer.add_char buf 'Z'
+  | Wait { me; input } ->
+    Buffer.add_char buf 'A';
+    Value.add_varint buf me;
+    Value.add_varint buf input
+  | Wait_scan { me; n = _; input; pos; best } ->
+    Buffer.add_char buf 'S';
+    Value.add_varint buf me;
+    Value.add_varint buf input;
+    Value.add_varint buf pos;
+    Value.add_varint buf best
+  | Wait_decide v ->
+    Buffer.add_char buf 'D';
+    Value.add_varint buf v
 
 let base ~name ~description ~n ~regs ~init ~poised ~on_read ~on_write :
     state Protocol.t =
@@ -120,6 +139,32 @@ let oblivious_seven ~n =
     ~poised:(function Const v -> Action.Decide (Value.int v) | _ -> assert false)
     ~on_read:(fun _ _ -> assert false)
     ~on_write:(fun _ -> assert false)
+
+let wait_for_all ~n =
+  base ~name:(Printf.sprintf "broken-wait-%d" n)
+    ~description:"announce input, spin until all slots filled, decide max" ~n
+    ~regs:n
+    ~init:(fun ~pid ~input -> Wait { me = pid; input = Value.to_int input })
+    ~poised:(function
+      | Wait { me; input } -> Action.Write (me, Value.int input)
+      | Wait_scan { pos; _ } -> Action.Read pos
+      | Wait_decide v -> Action.Decide (Value.int v)
+      | _ -> assert false)
+    ~on_read:(fun st v ->
+      match st with
+      | Wait_scan ({ me = _; n; input; pos; best } as r) ->
+        (match v with
+         | Value.Bot ->
+           (* someone hasn't announced yet: restart the scan *)
+           Wait_scan { r with pos = 0; best = input }
+         | v ->
+           let best = max best (Value.to_int v) in
+           if pos = n - 1 then Wait_decide best
+           else Wait_scan { r with pos = pos + 1; best })
+      | _ -> assert false)
+    ~on_write:(function
+      | Wait { me; input } -> Wait_scan { me; n; input; pos = 0; best = input }
+      | _ -> assert false)
 
 let insomniac ~n =
   base ~name:(Printf.sprintf "broken-spin-%d" n)

@@ -22,6 +22,16 @@ val naive_max : n:int -> state Ts_model.Protocol.t
 (** Decides the constant 7 regardless of inputs: violates validity. *)
 val oblivious_seven : n:int -> state Ts_model.Protocol.t
 
+(** The classic resilience counterexample: each process announces its input
+    in its own slot, then scans all [n] slots — restarting whenever a slot
+    is still empty — and decides the maximum once every slot is filled.
+    Deterministic; satisfies agreement and validity, and the full group
+    always terminates ([0]-resilient).  But it is not [1]-resilient: crash
+    any one process before its announcing write and the survivors scan
+    forever.  {!Ts_checker.Explore.check_t_resilient} finds the stuck
+    witness at the initial configuration. *)
+val wait_for_all : n:int -> state Ts_model.Protocol.t
+
 (** Reads register 0 forever: violates (nondeterministic solo)
     termination. *)
 val insomniac : n:int -> state Ts_model.Protocol.t

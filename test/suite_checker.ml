@@ -67,6 +67,77 @@ let test_violation_pp () =
     Alcotest.(check bool) "violation prints" true (String.length s > 10)
   | Ok () -> Alcotest.fail "expected validity violation"
 
+(* Every reported violation must replay: re-applying its schedule from the
+   initial configuration reproduces the same property failure. *)
+let violation_of proto ~check_solo =
+  let n = proto.Protocol.num_processes in
+  let r =
+    Explore.check_consensus proto ~inputs_list:(Explore.binary_inputs n)
+      ~max_configs:50_000 ~max_depth:30 ~solo_budget:50 ~check_solo
+  in
+  match r.Explore.verdict with
+  | Error v -> v
+  | Ok () -> Alcotest.failf "%s: expected a violation" proto.Protocol.name
+
+let test_replay_agreement () =
+  let proto = Broken.last_write_wins ~n:2 in
+  match violation_of proto ~check_solo:false with
+  | Explore.Agreement_violation _ as v ->
+    Alcotest.(check (result unit string)) "replays" (Ok ()) (Explore.replay proto v)
+  | v -> Alcotest.failf "wrong kind: %a" Explore.pp_violation v
+
+let test_replay_validity () =
+  let proto = Broken.oblivious_seven ~n:2 in
+  match violation_of proto ~check_solo:false with
+  | Explore.Validity_violation _ as v ->
+    Alcotest.(check (result unit string)) "replays" (Ok ()) (Explore.replay proto v)
+  | v -> Alcotest.failf "wrong kind: %a" Explore.pp_violation v
+
+let test_replay_solo_stuck () =
+  let proto = Broken.insomniac ~n:2 in
+  match violation_of proto ~check_solo:true with
+  | Explore.Solo_stuck _ as v ->
+    Alcotest.(check (result unit string)) "replays" (Ok ()) (Explore.replay proto v)
+  | v -> Alcotest.failf "wrong kind: %a" Explore.pp_violation v
+
+let test_replay_rejects_tampering () =
+  let proto = Broken.oblivious_seven ~n:2 in
+  match violation_of proto ~check_solo:false with
+  | Explore.Validity_violation { inputs; schedule; value = _ } ->
+    (* claim an input value was the invalid decision: replay must refuse *)
+    let forged = Explore.Validity_violation { inputs; schedule; value = Value.int 0 } in
+    Alcotest.(check bool) "forged witness rejected" true
+      (Explore.replay proto forged <> Ok ());
+    (* claim a bogus solo-stuck on a protocol whose processes decide *)
+    let bogus =
+      Explore.Solo_stuck { inputs = [| Value.int 0; Value.int 0 |]; schedule = []; pid = 0 }
+    in
+    Alcotest.(check bool) "bogus stuck witness rejected" true
+      (Explore.replay proto bogus <> Ok ())
+  | v -> Alcotest.failf "wrong kind: %a" Explore.pp_violation v
+
+let test_budget_partial_result () =
+  (* a tripped budget yields a structured partial result, not an exception *)
+  let budget = Ts_core.Budget.create ~max_nodes:50 () in
+  let r =
+    Explore.check_consensus ~budget (Racing.make ~n:2)
+      ~inputs_list:(Explore.binary_inputs 2) ~max_configs:1_000_000 ~max_depth:100
+      ~solo_budget:50 ~check_solo:false
+  in
+  (match r.Explore.stopped with
+   | Some (Ts_core.Budget.Node_cap _) -> ()
+   | Some b -> Alcotest.failf "wrong breach: %a" Ts_core.Budget.pp_breach b
+   | None -> Alcotest.fail "expected the node cap to trip");
+  Alcotest.(check bool) "partial is marked truncated" true r.Explore.stats.Explore.truncated;
+  Alcotest.(check bool) "verdict covers the explored part" true (r.Explore.verdict = Ok ());
+  (* unlimited budget on the same call never sets [stopped] *)
+  let r' =
+    Explore.check_consensus (Racing.make ~n:2)
+      ~inputs_list:(Explore.binary_inputs 2) ~max_configs:1_000 ~max_depth:20
+      ~solo_budget:50 ~check_solo:false
+  in
+  Alcotest.(check bool) "no breach unlimited" true (r'.Explore.stopped = None)
+
 let suite =
   ( "checker",
     [
@@ -76,4 +147,10 @@ let suite =
       Alcotest.test_case "first violation stops search" `Quick test_first_violation_stops_search;
       Alcotest.test_case "solo check flag" `Quick test_solo_check_flag;
       Alcotest.test_case "violation pretty-printing" `Quick test_violation_pp;
+      Alcotest.test_case "replay: agreement witness" `Quick test_replay_agreement;
+      Alcotest.test_case "replay: validity witness" `Quick test_replay_validity;
+      Alcotest.test_case "replay: solo-stuck witness" `Quick test_replay_solo_stuck;
+      Alcotest.test_case "replay rejects tampered witnesses" `Quick
+        test_replay_rejects_tampering;
+      Alcotest.test_case "budget yields partial results" `Quick test_budget_partial_result;
     ] )

@@ -196,6 +196,74 @@ let test_theorem1_small_horizon_raises () =
      | _ -> false
      | exception Valency.Horizon_exceeded _ -> true)
 
+let test_budget_guard () =
+  Alcotest.(check bool) "non-positive limit rejected" true
+    (match Budget.create ~max_nodes:0 () with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "unlimited is unlimited" true (Budget.is_unlimited Budget.unlimited);
+  Budget.charge Budget.unlimited 1_000_000;
+  Budget.check Budget.unlimited;
+  let b = Budget.create ~max_nodes:100 () in
+  Budget.charge b 60;
+  Alcotest.(check int) "spent counts" 60 (Budget.spent b);
+  Alcotest.(check bool) "not yet breached" true (Budget.breached b = None);
+  Alcotest.(check bool) "node cap trips" true
+    (match Budget.charge b 60 with
+     | () -> false
+     | exception Budget.Exhausted (Budget.Node_cap _) -> true);
+  (* an expired deadline is caught by check without charging *)
+  let d = Budget.create ~deadline:0.002 () in
+  Unix.sleepf 0.01;
+  Alcotest.(check bool) "deadline trips" true
+    (match Budget.check d with
+     | () -> false
+     | exception Budget.Exhausted (Budget.Deadline _) -> true)
+
+let test_theorem1_budget_partial () =
+  (* a capped run degrades to a structured partial outcome, not an
+     exception or a hang *)
+  let proto = Racing.make ~n:2 in
+  let t = Valency.create ~budget:(Budget.create ~max_nodes:5 ()) proto ~horizon:40 in
+  match Theorem.theorem1_outcome t with
+  | Theorem.Partial (Theorem.Out_of_budget (Budget.Node_cap _), p) ->
+    Alcotest.(check int) "progress reports the horizon" 40 p.Theorem.horizon;
+    Alcotest.(check bool) "some oracle work recorded" true (p.Theorem.nodes_expanded > 0)
+  | Theorem.Partial (s, _) -> Alcotest.failf "wrong stop: %a" Theorem.pp_stop s
+  | Theorem.Complete _ -> Alcotest.fail "5 nodes cannot complete the construction"
+
+let test_escalation_completes_like_unbounded () =
+  (* the acceptance path: the escalation wrapper, given room, produces the
+     same certificate as a plain unbounded run *)
+  let proto = Racing.make ~n:2 in
+  let unbounded = Theorem.theorem1 (Valency.create proto ~horizon:40) in
+  (match Theorem.theorem1_escalate proto ~initial_horizon:40 with
+   | Theorem.Complete cert, horizon ->
+     Alcotest.(check int) "no escalation needed" 40 horizon;
+     Alcotest.(check bool) "same schedule" true
+       (cert.Theorem.schedule = unbounded.Theorem.schedule);
+     Alcotest.(check bool) "same registers" true
+       (cert.Theorem.registers_written = unbounded.Theorem.registers_written)
+   | Theorem.Partial (s, _), _ -> Alcotest.failf "unexpected partial: %a" Theorem.pp_stop s);
+  (* starting hopeless, it escalates to the same certificate *)
+  match Theorem.theorem1_escalate proto ~initial_horizon:2 ~retries:6 with
+  | Theorem.Complete cert, horizon ->
+    Alcotest.(check bool) "horizon grew" true (horizon > 2);
+    Alcotest.(check bool) "same registers after escalation" true
+      (cert.Theorem.registers_written = unbounded.Theorem.registers_written)
+  | Theorem.Partial (s, _), _ -> Alcotest.failf "escalation failed: %a" Theorem.pp_stop s
+
+let test_escalation_respects_budget () =
+  (* the budget spans all attempts: a tiny allowance stops the retry loop *)
+  match
+    Theorem.theorem1_escalate ~budget:(Budget.create ~max_nodes:5 ())
+      (Racing.make ~n:2) ~initial_horizon:40
+  with
+  | Theorem.Partial (Theorem.Out_of_budget _, _), _ -> ()
+  | Theorem.Complete _, _ -> Alcotest.fail "5 nodes cannot complete the construction"
+  | Theorem.Partial (Theorem.Horizon_wall _, _), _ ->
+    Alcotest.fail "budget should trip before the horizon at depth 40"
+
 let test_verify_detects_tampering () =
   let cert = Theorem.theorem1 (racing2 ()) in
   let tampered = { cert with Theorem.registers_written = [] } in
@@ -258,6 +326,13 @@ let suite =
       Alcotest.test_case "horizon too small raises" `Quick test_theorem1_small_horizon_raises;
       Alcotest.test_case "iterative deepening succeeds" `Quick test_theorem1_auto_deepens;
       Alcotest.test_case "iterative deepening bounded" `Quick test_theorem1_auto_gives_up;
+      Alcotest.test_case "budget guard" `Quick test_budget_guard;
+      Alcotest.test_case "budget-capped theorem 1 is partial" `Quick
+        test_theorem1_budget_partial;
+      Alcotest.test_case "escalation matches unbounded run" `Quick
+        test_escalation_completes_like_unbounded;
+      Alcotest.test_case "escalation respects the budget" `Quick
+        test_escalation_respects_budget;
       Alcotest.test_case "verify detects tampering" `Quick test_verify_detects_tampering;
       Alcotest.test_case "certificate pretty-printing" `Quick test_certificate_pp;
       Alcotest.test_case "bound curves" `Quick test_bounds;

@@ -61,6 +61,63 @@ let test_diff_valency () =
   Alcotest.(check bool) "same verdicts" true (vs = vp);
   Alcotest.(check bool) "same stats" true (ss = sp)
 
+(* --- fault containment in the domain fan-out --------------------------- *)
+
+exception Boom of int
+
+let boom_at_multiples_of k x = if x mod k = 0 then raise (Boom x) else x * 10
+
+let test_exception_ordering_matches_serial () =
+  (* several items raise: the parallel map must surface the exception of
+     the earliest item, exactly as a serial left-to-right map would *)
+  let xs = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let observe run = match run () with _ -> None | exception Boom v -> Some v in
+  let serial = observe (fun () -> List.map (boom_at_multiples_of 3) xs) in
+  Alcotest.(check (option int)) "serial raises at 3" (Some 3) serial;
+  List.iter
+    (fun domains ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "domains:%d raises the same" domains)
+        serial
+        (observe (fun () -> Par.map_list ~domains (boom_at_multiples_of 3) xs)))
+    [ 1; 2; 4; 8 ]
+
+let test_outcomes_keep_sibling_results () =
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  let expected =
+    List.map
+      (fun x -> match boom_at_multiples_of 3 x with v -> Ok v | exception e -> Error e)
+      xs
+  in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domains:%d per-item outcomes" domains)
+        true
+        (Par.map_list_outcomes ~domains (boom_at_multiples_of 3) xs = expected))
+    [ 1; 4 ]
+
+let test_no_domain_leak_on_raise () =
+  (* a raising worker must not leak its domain: after many raising rounds
+     the runtime can still spawn fresh domains and map correctly *)
+  for _ = 1 to 40 do
+    (try ignore (Par.map_list ~domains:4 (boom_at_multiples_of 2) [ 1; 2; 3; 4 ])
+     with Boom _ -> ());
+    ignore (Par.map_list_outcomes ~domains:4 (boom_at_multiples_of 2) [ 1; 2; 3; 4 ])
+  done;
+  Alcotest.(check (list int)) "engine still healthy" [ 10; 30 ]
+    (Par.map_list ~domains:4 (fun x -> x * 10) [ 1; 3 ]);
+  let a, b = Par.both (fun () -> 1) (fun () -> 2) in
+  Alcotest.(check (pair int int)) "both still healthy" (1, 2) (a, b)
+
+let prop_outcomes_match_serial =
+  QCheck.Test.make ~name:"par: map_list_outcomes = serial try/with" ~count:40
+    QCheck.(pair (small_list small_int) (int_range 1 6))
+    (fun (xs, domains) ->
+      let f = boom_at_multiples_of 5 in
+      let expected = List.map (fun x -> match f x with v -> Ok v | exception e -> Error e) xs in
+      Par.map_list_outcomes ~domains f xs = expected)
+
 (* --- qcheck: key packing is injective on reachable configurations ----- *)
 
 (* Random walk from random binary inputs; collects the visited configs. *)
@@ -116,6 +173,7 @@ let qcheck_cases =
       prop_pack_injective "broken-lww-2" (Broken.last_write_wins ~n:2) ~n:2;
       prop_pack_injective "multivalued-2x2" (Multivalued.make ~n:2 ~bits:2) ~n:2;
       prop_pack_injective "kset-3-2" (Kset.make ~n:3 ~k:2) ~n:3;
+      prop_outcomes_match_serial;
     ]
 
 let suite =
@@ -126,5 +184,10 @@ let suite =
       Alcotest.test_case "serial = parallel: multivalued" `Quick test_diff_multivalued;
       Alcotest.test_case "serial = parallel: k-set" `Quick test_diff_kset;
       Alcotest.test_case "serial = parallel: valency oracle" `Quick test_diff_valency;
+      Alcotest.test_case "exception ordering matches serial" `Quick
+        test_exception_ordering_matches_serial;
+      Alcotest.test_case "outcomes keep sibling results" `Quick
+        test_outcomes_keep_sibling_results;
+      Alcotest.test_case "no domain leak on raise" `Quick test_no_domain_leak_on_raise;
     ]
     @ qcheck_cases )

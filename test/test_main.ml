@@ -19,5 +19,6 @@ let () =
       Suite_bakery_renaming.suite;
       Suite_props.suite;
       Suite_parallel.suite;
+      Suite_fault.suite;
       Suite_runtime.suite;
     ]
