@@ -382,6 +382,55 @@ let cover n alg budget =
       (Ts_mutex.Covering_search.search a ~max_configs:budget);
     0
 
+(* analyze *)
+let analyze all protocol json domains =
+  let module A = Ts_analysis.Analyze in
+  let pr_json j =
+    print_endline (Ts_analysis.Json.to_string_pretty j)
+  in
+  if all then begin
+    let o = A.analyze_all ~domains () in
+    if json then pr_json (A.overall_to_json o)
+    else Format.printf "%a@." A.pp_overall o;
+    if o.A.ok then 0 else 1
+  end
+  else
+    match protocol with
+    | None ->
+      prerr_endline "analyze: pass --all or --protocol NAME";
+      2
+    | Some name ->
+      (match Ts_analysis.Registry.find name with
+       | None ->
+         Printf.eprintf "analyze: unknown protocol %s (known: %s)\n" name
+           (String.concat ", " (Ts_analysis.Registry.names ()));
+         2
+       | Some entry ->
+         let r = A.analyze ~domains entry in
+         if json then pr_json (A.report_to_json r)
+         else Format.printf "%a@." A.pp_report r;
+         (* single-protocol mode gates on the protocol itself: flagged means
+            defective, whatever the registry expected *)
+         if r.A.flagged then 1 else 0)
+
+let analyze_cmd =
+  let all =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Analyze every registered protocol and certify the parallel \
+                   engine race-free (the CI gate).")
+  in
+  let protocol =
+    Arg.(value & opt (some string) None
+         & info [ "protocol" ] ~docv:"NAME" ~doc:"Analyze a single registered protocol.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the static analyzers: footprint lint, determinism checker, \
+             bounded property pass, engine race detector")
+    Term.(const analyze $ all $ protocol $ json $ domains_arg)
+
 let cover_cmd =
   let alg =
     Arg.(value & opt string "peterson" & info [ "alg" ] ~docv:"ALG" ~doc:"peterson, bakery, tournament or tas.")
@@ -403,7 +452,7 @@ let () =
            [
              witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
              encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
-             dot_cmd; cover_cmd;
+             dot_cmd; cover_cmd; analyze_cmd;
            ])
     with
     | Valency.Horizon_exceeded msg ->

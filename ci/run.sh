@@ -32,4 +32,20 @@ if timeout 300 dune exec bin/tightspace.exe -- resilient --protocol broken-wait 
 fi
 grep -q "witness replayed independently: confirmed" /tmp/resilient-broken.out
 
+echo "== static analysis gate (5 min cap) =="
+# the full gate: every legitimate protocol clean, every Broken.* control
+# flagged, the parallel engine certified race-free, the planted race caught
+timeout 300 dune exec bin/tightspace.exe -- analyze --all --json \
+  > /tmp/analyze-all.json
+grep -q '"ok": true' /tmp/analyze-all.json
+grep -q '"planted_race_caught": true' /tmp/analyze-all.json
+# single-protocol mode gates on the protocol itself: a broken control must
+# exit non-zero even though the registry expects it to be flagged
+if timeout 300 dune exec bin/tightspace.exe -- analyze --protocol broken-lww \
+     > /dev/null 2>&1; then
+  echo "ci: analyze did not flag broken-lww" >&2
+  exit 1
+fi
+timeout 300 dune exec bin/tightspace.exe -- analyze --protocol racing > /dev/null
+
 echo "ci: ok"

@@ -1,0 +1,48 @@
+(** The gating analyzer driver behind [tightspace analyze].
+
+    Per registered protocol ({!Registry}), runs three passes in order:
+
+    + {!Lint} — abstract footprint lint over the bounded reachable space;
+    + {!Determinism} — double-step / shadow-copy purity replay;
+    + a bounded {e property} pass ({!Ts_checker.Explore.check_set_agreement}
+      with the entry's [k]) translating any violation into a finding.
+
+    The property pass is skipped (with an [Info] note) when lint or
+    determinism already produced errors: stepping a protocol whose
+    footprint is illegal (e.g. an out-of-range write) would fault the
+    engine rather than produce a verdict.
+
+    A protocol is {e flagged} when any pass emits an [Error].  A report is
+    {e ok} when flaggedness matches the registry's expectation — the
+    negative controls must be flagged, the legitimate protocols must not
+    be.  {!analyze_all} additionally certifies the parallel engine
+    race-free ({!Race.certify_engine}) and proves the detector can fire
+    ({!Race.planted}); [overall.ok] is the CI gate. *)
+
+type protocol_report = {
+  entry : Registry.entry;
+  findings : Finding.t list;  (** all passes, in pass order *)
+  summary : Lint.summary;
+  flagged : bool;  (** some finding is an [Error] *)
+  ok : bool;  (** [flagged = not entry.expect_clean] *)
+}
+
+type overall = {
+  reports : protocol_report list;
+  engine : Race.report;  (** instrumented parallel search, must be race-free *)
+  planted : Race.report;  (** planted-race fixture, must NOT be race-free *)
+  ok : bool;
+}
+
+(** [analyze entry] runs the three passes on one registry entry.
+    [?domains] (default 1) fans the property pass's input vectors out. *)
+val analyze : ?domains:int -> Registry.entry -> protocol_report
+
+(** [analyze_all ()] analyzes every registry entry plus the race-detector
+    pair.  [?domains] also sizes the instrumented engine certification. *)
+val analyze_all : ?domains:int -> unit -> overall
+
+val report_to_json : protocol_report -> Json.t
+val overall_to_json : overall -> Json.t
+val pp_report : Format.formatter -> protocol_report -> unit
+val pp_overall : Format.formatter -> overall -> unit

@@ -1,0 +1,37 @@
+(** Determinism and purity checker.
+
+    The memoized search core ({!Ts_checker.Explore}) and the witness
+    replayer ({!Ts_checker.Explore.replay}) both assume that a protocol's
+    transitions are pure functions of the configuration: stepping the same
+    process with the same coin from structurally equal configurations must
+    yield structurally equal results, every time.  A protocol that hides
+    mutable state in a closure, consults a global, or flips an undeclared
+    coin breaks that silently — memo tables then cache lies and replays
+    diverge.
+
+    This pass replays every enumerated step {e twice} from the same
+    configuration, and a third time from a shadow copy (a structural
+    round-trip of the configuration, so any aliasing into hidden mutable
+    state is severed).  Outcomes are compared by packed configuration
+    digest plus performed action:
+
+    - repeat divergence → ["hidden-nondeterminism"]: the transition is not
+      a function of its arguments;
+    - shadow divergence → ["impure-transition"]: the transition depends on
+      state shared outside the configuration;
+    - unstable poised → ["unstable-poised"]: [poised] itself is impure;
+    - states that a structural round-trip cannot serialize (closures,
+      custom blocks) → ["state-not-plain-data"].
+
+    All divergence not routed through the declared coin ({!Ts_model.Rng}
+    resolutions surface as explicit [Flip] actions, which this pass pins to
+    both outcomes) is flagged. *)
+
+open Ts_model
+
+val run :
+  ?max_configs:int ->
+  ?max_depth:int ->
+  's Protocol.t ->
+  inputs_list:Value.t array list ->
+  Finding.t list

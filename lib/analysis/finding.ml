@@ -1,0 +1,60 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type t = {
+  protocol : string;
+  pass : string;
+  code : string;
+  severity : severity;
+  message : string;
+}
+
+let v ~protocol ~pass ~code severity message =
+  { protocol; pass; code; severity; message }
+
+let errors = List.filter (fun f -> f.severity = Error)
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_json f =
+  Json.Obj
+    [
+      "protocol", Json.Str f.protocol;
+      "pass", Json.Str f.pass;
+      "code", Json.Str f.code;
+      "severity", Json.Str (severity_to_string f.severity);
+      "message", Json.Str f.message;
+    ]
+
+let pp ppf f =
+  Fmt.pf ppf "[%s] %s/%s %s: %s"
+    (severity_to_string f.severity)
+    f.protocol f.pass f.code f.message
+
+module Sink = struct
+  type finding = t
+
+  type nonrec t = {
+    mutable rev_findings : finding list;
+    seen : (string * string, unit) Hashtbl.t;
+    protocol : string;
+    pass : string;
+  }
+
+  let create ~protocol ~pass =
+    { rev_findings = []; seen = Hashtbl.create 16; protocol; pass }
+
+  let report t ~code severity message =
+    if not (Hashtbl.mem t.seen (code, message)) then begin
+      Hashtbl.replace t.seen (code, message) ();
+      t.rev_findings <-
+        v ~protocol:t.protocol ~pass:t.pass ~code severity message :: t.rev_findings
+    end
+
+  let findings t = List.rev t.rev_findings
+end

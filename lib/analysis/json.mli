@@ -1,0 +1,21 @@
+(** A minimal JSON value and serializer.
+
+    The analyzer's [--json] output must be machine-readable without adding
+    a dependency the container may not carry, so this is a tiny,
+    allocation-honest emitter: enough JSON to describe findings, summaries
+    and race reports, nothing more.  Strings are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering. *)
+val to_string : t -> string
+
+(** Two-space indented rendering, for humans reading the gate output. *)
+val to_string_pretty : t -> string

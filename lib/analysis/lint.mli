@@ -1,0 +1,56 @@
+(** Protocol lint: abstract footprint analysis.
+
+    Zhu's bound (and its relatives: Gelashvili's anonymous bound, Ovens'
+    swap bound) is parameterized by exactly which primitives a protocol may
+    use and what it may decide.  This pass drives a protocol's transition
+    function over its bounded reachable state space — the same enumeration
+    the checker performs, keyed by packed {!Ts_model.Ckey} configurations —
+    and checks the {e declared} model against the {e observed} footprint:
+
+    - every read/write/swap must target a register in
+      [0 .. num_registers - 1];
+    - a protocol claiming the read/write model must not be poised to swap;
+    - a protocol claiming determinism must not be poised to flip;
+    - a protocol claiming binary consensus must only decide 0 or 1;
+    - a transition function must never raise on a reachable state;
+    - some reachable configuration must decide (else termination is
+      impossible — reported as an error when the enumeration was
+      exhaustive, a warning when truncated).
+
+    Successors of a footprint-violating action are not expanded (stepping
+    them would fault the engine — that is the point of linting first). *)
+
+open Ts_model
+
+(** What the protocol claims about itself; the registry declares these. *)
+type claims = {
+  binary_decides : bool;  (** decisions must lie in {0,1} *)
+  may_swap : bool;  (** historyless model: swap allowed *)
+  may_flip : bool;  (** randomized: coin flips allowed *)
+}
+
+(** Observed over-approximated footprint, aggregated over every explored
+    input vector. *)
+type summary = {
+  configs : int;  (** distinct configurations enumerated *)
+  truncated : bool;  (** a bound stopped the enumeration *)
+  max_register : int;  (** highest register index touched; -1 if none *)
+  registers_touched : int;  (** distinct registers read/written/swapped *)
+  reads : int;  (** poised-action histogram, counted per (config, process) *)
+  writes : int;
+  swaps : int;
+  flips : int;
+  decides : int;
+  decide_reachable : bool;
+}
+
+val run :
+  ?max_configs:int ->
+  ?max_depth:int ->
+  claims ->
+  's Protocol.t ->
+  inputs_list:Value.t array list ->
+  Finding.t list * summary
+
+val summary_to_json : summary -> Json.t
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,62 @@
+(** Engine race detector: a vector-clock (epoch/lockset-style) checker
+    over {!Ts_model.Trace} access logs.
+
+    The parallel search's safety argument is "workers share nothing
+    mutable except the budget atomics".  When tracing is armed, the
+    engine's shared-structure touch points ({!Ts_model.Par} reassembly,
+    {!Ts_model.Ckey} packers, the checker's visited/solo tables,
+    {!Ts_core.Budget} counters) log access events plus fork/join edges;
+    this module replays the log with one vector clock per domain
+    (fork/begin and end/join edges transfer clocks, FastTrack-style merged
+    epochs per location) and reports every pair of conflicting accesses —
+    at least one write, not both atomic — that are not ordered by
+    happens-before.
+
+    [certify_engine] runs an instrumented domain-parallel consensus search
+    and must come back race-free; [planted] runs a deliberately racy
+    fan-out (two domains bumping one plain ref) and must not. *)
+
+open Ts_model
+
+type access = {
+  domain : int;
+  loc : string;
+  kind : Trace.kind;
+  atomic : bool;
+  index : int;  (** position in the event log, for reporting *)
+}
+
+type race = {
+  loc : string;
+  first : access;  (** the earlier access of the unordered conflicting pair *)
+  second : access;
+}
+
+type report = {
+  events : int;  (** total events checked *)
+  accesses : int;  (** access events among them *)
+  locations : int;  (** distinct locations touched *)
+  domains : int;  (** distinct domains seen *)
+  races : race list;  (** at most one reported race per location *)
+}
+
+(** [check events] replays a {!Ts_model.Trace} log through the
+    vector-clock checker. *)
+val check : Trace.event list -> report
+
+val race_free : report -> bool
+
+(** Run {!Ts_checker.Explore.check_consensus} on the racing protocol over
+    [domains] domains (default 4) with tracing armed, and check the log.
+    This is the shipped-workload certificate. *)
+val certify_engine : ?domains:int -> unit -> report
+
+(** The planted-race fixture: fan a plain (non-atomic) read-modify-write
+    counter out over [domains] domains (default 2) through {!Ts_model.Par}
+    with tracing armed.  The checker must report a race on
+    ["planted.cell"] — a detector that cannot catch this certifies
+    nothing. *)
+val planted : ?domains:int -> unit -> report
+
+val to_json : report -> Json.t
+val pp_report : Format.formatter -> report -> unit

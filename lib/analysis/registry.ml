@@ -1,0 +1,77 @@
+open Ts_model
+
+type entry = {
+  cli_name : string;
+  protocol : Protocol.packed;
+  claims : Lint.claims;
+  inputs_list : Value.t array list;
+  k : int;
+  max_configs : int;
+  max_depth : int;
+  solo_budget : int;
+  expect_clean : bool;
+}
+
+let rw_det = { Lint.binary_decides = true; may_swap = false; may_flip = false }
+
+(* Inputs 0..2^bits-1 per process, full cross product — the multivalued
+   protocol's domain is wider than binary. *)
+let range_inputs n ~lo ~hi =
+  let rec go p =
+    if p = n then [ [] ]
+    else
+      let rest = go (p + 1) in
+      List.concat_map (fun v -> List.map (fun tl -> Value.int v :: tl) rest)
+        (List.init (hi - lo + 1) (fun i -> lo + i))
+  in
+  List.map Array.of_list (go 0)
+
+let entry ?(claims = rw_det) ?(k = 1) ?(max_configs = 4_000) ?(max_depth = 25)
+    ?(solo_budget = 300) ?(inputs_list : Value.t array list option)
+    ?(expect_clean = true) cli_name (Protocol.Packed p as protocol) =
+  let inputs_list =
+    match inputs_list with
+    | Some l -> l
+    | None -> Ts_checker.Explore.binary_inputs p.Protocol.num_processes
+  in
+  { cli_name; protocol; claims; inputs_list; k; max_configs; max_depth;
+    solo_budget; expect_clean }
+
+let all () =
+  let open Ts_protocols in
+  [
+    entry "racing" (Protocol.Packed (Racing.make ~n:2));
+    entry "racing-rand"
+      (Protocol.Packed (Racing.make_randomized ~n:2))
+      ~claims:{ rw_det with may_flip = true };
+    entry "swap"
+      (Protocol.Packed (Swap_consensus.two_process ()))
+      ~claims:{ rw_det with may_swap = true };
+    entry "kset" (Protocol.Packed (Kset.make ~n:3 ~k:2)) ~k:2
+      ~max_configs:12_000 ~solo_budget:150;
+    entry "multivalued"
+      (Protocol.Packed (Multivalued.make ~n:2 ~bits:2))
+      ~claims:{ rw_det with binary_decides = false }
+      ~inputs_list:(range_inputs 2 ~lo:0 ~hi:3)
+      ~max_configs:12_000 ~solo_budget:400;
+    (* negative controls: the gate requires each to be flagged *)
+    entry "swap-chain"
+      (Protocol.Packed (Swap_consensus.naive_chain ~n:3))
+      ~claims:{ rw_det with may_swap = true }
+      ~expect_clean:false;
+    entry "broken-lww" (Protocol.Packed (Broken.last_write_wins ~n:2))
+      ~expect_clean:false;
+    entry "broken-max" (Protocol.Packed (Broken.naive_max ~n:2))
+      ~max_configs:50_000 ~max_depth:30 ~expect_clean:false;
+    entry "broken-const" (Protocol.Packed (Broken.oblivious_seven ~n:2))
+      ~expect_clean:false;
+    entry "broken-spin" (Protocol.Packed (Broken.insomniac ~n:2))
+      ~expect_clean:false;
+    entry "broken-wait" (Protocol.Packed (Broken.wait_for_all ~n:2))
+      ~expect_clean:false;
+    entry "broken-rogue" (Protocol.Packed (Broken.rogue_writer ~n:2))
+      ~expect_clean:false;
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.cli_name name) (all ())
+let names () = List.map (fun e -> e.cli_name) (all ())

@@ -1,0 +1,29 @@
+(** The analyzable protocol registry.
+
+    One entry per shipped protocol instance: the packed protocol, its
+    declared model {!Lint.claims}, the input vectors the analyzers drive it
+    over, the agreement arity [k] its property pass checks, and whether the
+    gate expects it to come out clean.  The negative controls
+    ([broken-*], [swap-chain]) are registered with [expect_clean = false]:
+    an analyzer that fails to flag them fails the gate just as loudly as
+    one that flags a legitimate protocol. *)
+
+open Ts_model
+
+type entry = {
+  cli_name : string;  (** stable name used by [tightspace analyze --protocol] *)
+  protocol : Protocol.packed;
+  claims : Lint.claims;
+  inputs_list : Value.t array list;
+  k : int;  (** agreement arity for the bounded property pass *)
+  max_configs : int;  (** property-pass exploration cap *)
+  max_depth : int;
+  solo_budget : int;
+  expect_clean : bool;
+}
+
+(** Every registered instance, in display order. *)
+val all : unit -> entry list
+
+val find : string -> entry option
+val names : unit -> string list

@@ -89,8 +89,9 @@ let stats_of_counters c =
    table key by the packed configuration, salted with the participant
    mask.  [Pset.singleton p] gives the classic solo-termination probe;
    larger sets give the survivor-group probes of the t-resilience check. *)
-let group_can_decide proto pk cfg ps ~budget ~guard ~cache ~counters =
+let group_can_decide proto pk cfg ps ~budget ~guard ~cache ~cache_loc ~counters =
   let key = Ckey.Salted.make (Ckey.pack pk cfg) (Pset.to_mask ps) in
+  Trace.access ~loc:cache_loc Trace.Read ~atomic:false;
   match Ckey.Salted_tbl.find_opt cache key with
   | Some r ->
     counters.solo_hits <- counters.solo_hits + 1;
@@ -129,11 +130,13 @@ let group_can_decide proto pk cfg ps ~budget ~guard ~cache ~counters =
              ps
        done
      with Exit -> ());
+    Trace.access ~loc:cache_loc Trace.Write ~atomic:false;
     Ckey.Salted_tbl.replace cache key !found;
     !found
 
-let solo_can_decide proto pk cfg p ~budget ~guard ~cache ~counters =
-  group_can_decide proto pk cfg (Pset.singleton p) ~budget ~guard ~cache ~counters
+let solo_can_decide proto pk cfg p ~budget ~guard ~cache ~cache_loc ~counters =
+  group_can_decide proto pk cfg (Pset.singleton p) ~budget ~guard ~cache ~cache_loc
+    ~counters
 
 exception Found of violation
 
@@ -150,10 +153,14 @@ let bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examin
      tables they never fill *)
   let table_size = max 64 (min 4096 (max_configs / 8)) in
   let visited = Ckey.Tbl.create table_size in
+  (* each search owns its visited table; a distinct location per table
+     lets the race detector prove no cross-domain sharing ever happens *)
+  let visited_loc = Trace.fresh_loc "explore.visited" in
   let cfg0 = Config.initial proto ~inputs in
   (* queue holds (config, reversed schedule, depth) *)
   let q = Queue.create () in
   Queue.add (cfg0, [], 0) q;
+  Trace.access ~loc:visited_loc Trace.Write ~atomic:false;
   Ckey.Tbl.replace visited (Ckey.pack pk cfg0) ();
   counters.misses <- 1;
   counters.peak <- 1;
@@ -170,9 +177,11 @@ let bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examin
         (* inline successor expansion: no intermediate list *)
         let push e cfg' =
           let key = Ckey.pack pk cfg' in
+          Trace.access ~loc:visited_loc Trace.Read ~atomic:false;
           if Ckey.Tbl.mem visited key then counters.hits <- counters.hits + 1
           else begin
             counters.misses <- counters.misses + 1;
+            Trace.access ~loc:visited_loc Trace.Write ~atomic:false;
             Ckey.Tbl.replace visited key ();
             Queue.add (cfg', e :: rev_sched, depth + 1) q
           end
@@ -201,6 +210,7 @@ let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
   let counters = fresh_counters () in
   let table_size = max 64 (min 4096 (max_configs / 8)) in
   let solo_cache = Ckey.Salted_tbl.create (if check_solo then table_size else 1) in
+  let solo_loc = Trace.fresh_loc "explore.solo_cache" in
   let examine pk cfg rev_sched =
     let schedule () = List.rev rev_sched in
     let decided = Config.decided_values cfg in
@@ -216,7 +226,7 @@ let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
         if Config.has_decided cfg p = None
            && not
                 (solo_can_decide proto pk cfg p ~budget:solo_budget ~guard
-                   ~cache:solo_cache ~counters)
+                   ~cache:solo_cache ~cache_loc:solo_loc ~counters)
         then raise (Found (Solo_stuck { inputs; schedule = schedule (); pid = p }))
       done
   in
@@ -302,12 +312,13 @@ let check_resilient_from proto ~t ~inputs ~max_configs ~max_depth ~solo_budget ~
   let counters = fresh_counters () in
   let table_size = max 64 (min 4096 (max_configs / 8)) in
   let cache = Ckey.Salted_tbl.create table_size in
+  let cache_loc = Trace.fresh_loc "explore.group_cache" in
   let examine pk cfg rev_sched =
     List.iter
       (fun f ->
         let survivors = Pset.diff (Pset.all n) f in
         if not (group_can_decide proto pk cfg survivors ~budget:solo_budget ~guard
-                  ~cache ~counters)
+                  ~cache ~cache_loc ~counters)
         then
           raise
             (Found
@@ -354,9 +365,10 @@ let replay ?(solo_budget = 300) proto violation =
         | [] ->
           let pk = Ckey.packer proto in
           let cache = Ckey.Salted_tbl.create 64 in
+          let cache_loc = Trace.fresh_loc "explore.replay_cache" in
           let counters = fresh_counters () in
           if group_can_decide proto pk cfg group ~budget:solo_budget
-               ~guard:Budget.unlimited ~cache ~counters
+               ~guard:Budget.unlimited ~cache ~cache_loc ~counters
           then Error (what ^ " can decide on replay")
           else Ok ())
   in

@@ -14,9 +14,7 @@ let apply t cfg sched = fst (Lemmas.apply_schedule t cfg sched)
 (* One round of Lemma 4's constructed sequence D_0, D_1, ... *)
 type 's iteration = {
   d : 's Config.t;
-  q : Pset.t;
-  r : Pset.t;
-  v : Action.reg list;  (* registers covered by [r] in [d] *)
+  v : Action.reg list;  (* registers covered by R_i in [d] *)
 }
 
 (* Transition pieces from D_i to D_{i+1}: alpha_i = phi_i · beta_i · psi_i *)
@@ -63,7 +61,7 @@ let rec lemma4 t c p =
               Fmt.(list ~sep:comma (fmt "R%d")) v_i);
         finish d_i q_i r_i v_i i0
       | None ->
-        iterations := { d = d_i; q = q_i; r = r_i; v = v_i } :: !iterations;
+        iterations := { d = d_i; v = v_i } :: !iterations;
         if Pset.is_empty r_i then begin
           (* Empty covering set: D_{i+1} = D_i with an empty transition;
              the next round repeats V = [] and triggers the pigeonhole. *)

@@ -76,8 +76,15 @@ let decode alg enc =
     if not is_run then Arena.start_proc session p
     else
       let len = Bits.read_gamma r in
-      for _ = 1 to len do
-        ignore (Arena.step_proc session p)
+      (* the run length came from the encoder counting real steps, so the
+         process may complete only on the run's last step; [`Done] earlier
+         means the bits don't describe an execution of this algorithm *)
+      for k = 1 to len do
+        match Arena.step_proc session p with
+        | `Continues -> ()
+        | `Done ->
+          if k < len then
+            invalid_arg "Codec.decode: process finished mid-run (corrupt encoding)"
       done
   done;
   Arena.session_outcome session

@@ -43,22 +43,25 @@ let of_marshal v = of_string (Marshal.to_string v [])
    allocation across millions of packings.  Packers are not shareable
    across domains — create one per search. *)
 type 's packer = {
-  proto : 's Protocol.t;
   buf : Buffer.t;
   encode_state : Buffer.t -> 's -> unit;
+  loc : string;  (* race-detector location of the scratch buffer *)
 }
 
 let packer proto =
   {
-    proto;
     buf = Buffer.create 256;
     encode_state =
       (match proto.Protocol.encode with
        | Protocol.Packed f -> f
        | Protocol.Generic -> marshal_to);
+    loc = Trace.fresh_loc "ckey.packer";
   }
 
 let pack pk (cfg : _ Config.t) =
+  (* the scratch buffer is the packer's share-nothing hazard: flag any
+     cross-domain reuse to the race detector *)
+  Trace.access ~loc:pk.loc Trace.Write ~atomic:false;
   let buf = pk.buf in
   Buffer.clear buf;
   Array.iter

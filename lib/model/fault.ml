@@ -58,13 +58,12 @@ let pp ppf plan =
       plan.seed
 
 type tracker = {
-  plan : plan;
   mutable pending : (pid * trigger) list;
   mutable down : Pset.t;
   steps : (pid, int) Hashtbl.t;
 }
 
-let tracker plan = { plan; pending = plan.crashes; down = Pset.empty; steps = Hashtbl.create 8 }
+let tracker plan = { pending = plan.crashes; down = Pset.empty; steps = Hashtbl.create 8 }
 
 let steps_taken tr p = Option.value ~default:0 (Hashtbl.find_opt tr.steps p)
 

@@ -4,7 +4,12 @@
    its (index, result) pairs and the parent reassembles them in order, so
    parallel runs are observationally identical to serial ones.  Workers
    catch everything and every spawned domain is joined before the parent
-   returns or re-raises, so a raising item never leaks a domain. *)
+   returns or re-raises, so a raising item never leaks a domain.
+
+   Every spawn/join edge and every touch of the shared reassembly array is
+   logged through Trace when tracing is armed, so the analysis layer's
+   vector-clock race detector can certify (or refute) the sharing
+   discipline of a parallel run. *)
 
 let available_domains () = Domain.recommended_domain_count ()
 
@@ -13,6 +18,19 @@ type 'a outcome =
   | Raised of exn * Printexc.raw_backtrace
 
 let catch f x = try Done (f x) with e -> Raised (e, Printexc.get_raw_backtrace ())
+
+(* Total reassembly: every item must have received exactly one outcome.
+   A [None] here cannot arise from a raising [f] (workers catch) — it
+   means the stride bookkeeping itself dropped a slot, which must surface
+   loudly, not as a bare assertion. *)
+let strip_slot i = function
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Par.outcomes_array: no outcome for item %d: a worker slot went \
+          missing during stride reassembly"
+         i)
 
 (* Strided fan-out shared by both maps: apply [catch f] to every item over
    a pool of [domains] domains (the caller's domain is one of them) and
@@ -32,12 +50,31 @@ let outcomes_array ~domains f items =
       done;
       !acc
     in
-    let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    let spawned =
+      Array.init (domains - 1) (fun k ->
+          let token = Trace.fork () in
+          ( token,
+            Domain.spawn (fun () ->
+                Trace.begin_task token;
+                let r = worker (k + 1) () in
+                Trace.end_task token;
+                r) ))
+    in
     let results = Array.make n None in
-    let collect = List.iter (fun (i, r) -> results.(i) <- Some r) in
+    let results_loc = Trace.fresh_loc "par.results" in
+    let collect =
+      List.iter (fun (i, r) ->
+          Trace.access ~loc:results_loc Trace.Write ~atomic:false;
+          results.(i) <- Some r)
+    in
     collect (worker 0 ());
-    Array.iter (fun d -> collect (Domain.join d)) spawned;
-    Array.map (function Some r -> r | None -> assert false) results
+    Array.iter
+      (fun (token, d) ->
+        let r = Domain.join d in
+        Trace.join token;
+        collect r)
+      spawned;
+    Array.mapi strip_slot results
   end
 
 (* [map_list ~domains f xs]: like [List.map f xs] but strided over a pool
@@ -62,10 +99,22 @@ let map_list_outcomes ~domains f xs =
 (* Run two independent thunks, one on a fresh domain.  Always joins before
    re-raising so no domain is leaked. *)
 let both f g =
-  let d = Domain.spawn (fun () -> catch g ()) in
+  let token = Trace.fork () in
+  let d =
+    Domain.spawn (fun () ->
+        Trace.begin_task token;
+        let r = catch g () in
+        Trace.end_task token;
+        r)
+  in
   let a = catch f () in
   let b = Domain.join d in
+  Trace.join token;
   match a, b with
   | Done a, Done b -> a, b
   | Raised (e, bt), _ -> Printexc.raise_with_backtrace e bt
   | _, Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+
+module Internal = struct
+  let strip_slot = strip_slot
+end

@@ -27,3 +27,13 @@ val map_list_outcomes : domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result
     returns both results; always joins before re-raising (preferring [f]'s
     exception when both raise). *)
 val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+(** Testing-only access to internal invariant guards. *)
+module Internal : sig
+  (** [strip_slot i slot] unwraps the reassembled outcome of item [i].
+      @raise Invalid_argument naming item [i] if the slot is empty — the
+      "worker slot went missing" guard on stride reassembly, impossible
+      through the public API but kept loud rather than as a bare
+      assertion. *)
+  val strip_slot : int -> 'a option -> 'a
+end

@@ -1,0 +1,69 @@
+(** Shared-memory access tracing for the engine race detector.
+
+    The domain fan-out ({!Par}, and the search loops built on it) is
+    designed so workers share nothing mutable except the {!Ts_core.Budget}
+    atomics.  That design is otherwise checked only indirectly, by
+    parallel-vs-serial differential tests.  This module gives the claim a
+    direct witness: when tracing is armed, the engine's shared-structure
+    touch points log (domain, location, read/write, atomic?) events plus
+    fork/join edges, and [Ts_analysis.Race] runs a vector-clock checker
+    over the log to certify the run race-free (or to pinpoint the racing
+    pair).
+
+    Tracing is globally off by default and costs one atomic load per
+    potential event when disarmed.  It is a test/analysis harness, not a
+    production profiler: events are appended to one mutex-protected
+    buffer, and [start]/[stop] are not meant to run concurrently with each
+    other. *)
+
+type kind =
+  | Read
+  | Write
+
+type event =
+  | Access of {
+      domain : int;  (** id of the accessing domain *)
+      loc : string;  (** interned location name, see {!fresh_loc} *)
+      kind : kind;
+      atomic : bool;  (** accesses via [Atomic] never race with each other *)
+    }
+  | Fork of { parent : int; token : int }
+      (** the parent is about to spawn the task identified by [token] *)
+  | Begin of { child : int; token : int }
+      (** first event of the spawned task: inherits the parent's clock *)
+  | End of { child : int; token : int }  (** last event of the spawned task *)
+  | Join of { parent : int; token : int }
+      (** the parent has joined the task: absorbs the child's clock *)
+
+(** Whether tracing is currently armed. *)
+val enabled : unit -> bool
+
+(** Arm tracing and discard any previously buffered events. *)
+val start : unit -> unit
+
+(** Disarm tracing and return the buffered events, oldest first. *)
+val stop : unit -> event list
+
+(** [access ~loc kind ~atomic] logs a shared-memory access by the calling
+    domain.  No-op (one atomic load) when tracing is disarmed. *)
+val access : loc:string -> kind -> atomic:bool -> unit
+
+(** [fork ()] allocates a task token and logs the {!Fork} edge. *)
+val fork : unit -> int
+
+(** [begin_task t] / [end_task t] bracket the spawned task's body. *)
+val begin_task : int -> unit
+
+val end_task : int -> unit
+
+(** [join t] logs that the calling domain has joined task [t]. *)
+val join : int -> unit
+
+(** [fresh_loc prefix] is a process-unique location name
+    ["prefix#<id>"] while tracing is armed, and just [prefix] while
+    disarmed (so the disarmed engine allocates nothing per structure).
+    Give every independently-owned mutable structure its own location so
+    that distinct per-worker tables never alias in the detector. *)
+val fresh_loc : string -> string
+
+val pp_event : Format.formatter -> event -> unit

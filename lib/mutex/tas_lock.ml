@@ -34,20 +34,20 @@ let make ~n : state Algorithm.t =
       (fun st v ->
         match st.phase with
         | Spin -> if Value.is_bot v then { st with phase = Try_swap } else st
-        | _ -> invalid_arg "Tas_lock.on_read");
+        | _ -> invalid_arg (Printf.sprintf "Tas_lock.on_read: p%d out of phase" st.me));
     on_write =
       (fun st ->
         match st.phase with
         | Release -> { st with phase = Finished }
-        | _ -> invalid_arg "Tas_lock.on_write");
+        | _ -> invalid_arg (Printf.sprintf "Tas_lock.on_write: p%d out of phase" st.me));
     on_swap =
       (fun st old ->
         match st.phase with
         | Try_swap ->
           if Value.is_bot old then { st with phase = At_cs } else { st with phase = Spin }
-        | _ -> invalid_arg "Tas_lock.on_swap");
+        | _ -> invalid_arg (Printf.sprintf "Tas_lock.on_swap: p%d out of phase" st.me));
     on_enter =
-      (fun st -> match st.phase with At_cs -> { st with phase = In_cs } | _ -> invalid_arg "Tas_lock.on_enter");
+      (fun st -> match st.phase with At_cs -> { st with phase = In_cs } | _ -> invalid_arg (Printf.sprintf "Tas_lock.on_enter: p%d out of phase" st.me));
     on_exit =
-      (fun st -> match st.phase with In_cs -> { st with phase = Release } | _ -> invalid_arg "Tas_lock.on_exit");
+      (fun st -> match st.phase with In_cs -> { st with phase = Release } | _ -> invalid_arg (Printf.sprintf "Tas_lock.on_exit: p%d out of phase" st.me));
   }

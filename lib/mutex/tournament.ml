@@ -80,7 +80,7 @@ let make ~n : state Algorithm.t =
           let _, side = node_side st i in
           if int_of v <> side then acquired st i else { st with phase = Wait_flag i }
         | Lock_flag _ | Lock_turn _ | At_cs | In_cs | Unlock _ | Finished ->
-          invalid_arg "Tournament.on_read");
+          invalid_arg (Printf.sprintf "Tournament.on_read: p%d out of phase" st.me));
     on_write =
       (fun st ->
         match st.phase with
@@ -89,15 +89,15 @@ let make ~n : state Algorithm.t =
         | Unlock i ->
           if i = 0 then { st with phase = Finished } else { st with phase = Unlock (i - 1) }
         | Wait_flag _ | Wait_turn _ | At_cs | In_cs | Finished ->
-          invalid_arg "Tournament.on_write");
+          invalid_arg (Printf.sprintf "Tournament.on_write: p%d out of phase" st.me));
     on_swap = Algorithm.no_swap;
     on_enter =
-      (fun st -> match st.phase with At_cs -> { st with phase = In_cs } | _ -> invalid_arg "Tournament.on_enter");
+      (fun st -> match st.phase with At_cs -> { st with phase = In_cs } | _ -> invalid_arg (Printf.sprintf "Tournament.on_enter: p%d out of phase" st.me));
     on_exit =
       (fun st ->
         match st.phase with
         | In_cs ->
           let top = List.length st.path - 1 in
           if top < 0 then { st with phase = Finished } else { st with phase = Unlock top }
-        | _ -> invalid_arg "Tournament.on_exit");
+        | _ -> invalid_arg (Printf.sprintf "Tournament.on_exit: p%d out of phase" st.me));
   }

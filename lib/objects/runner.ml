@@ -2,10 +2,10 @@ open Ts_model
 
 type ('s, 'op) t = {
   impl : ('s, 'op) Impl.t;
-  mutable regs : Value.t array;
-  mutable states : 's option array;
+  regs : Value.t array;  (* mutated in place; replaced only by [clone] *)
+  states : 's option array;
   mutable hist : 'op History.event list;  (* newest first *)
-  mutable accesses : Action.reg list array;  (* per-process, current op *)
+  accesses : Action.reg list array;  (* per-process, current op *)
   mutable written : Action.reg list;  (* distinct, unsorted *)
 }
 

@@ -30,10 +30,18 @@ let park session pid op ~avoid =
         match Runner.poised session pid with
         | Some (Impl.Write (r, _)) when not (List.mem r avoid) -> Some r
         | Some (Impl.Return _) ->
-          ignore (Runner.step session pid);
+          (* a Return-poised step must complete the operation *)
+          (match Runner.step session pid with
+           | `Returned _ -> ()
+           | `Continues ->
+             invalid_arg "Adversary.park: Return-poised step did not return");
           None
         | Some (Impl.Read _ | Impl.Write _) ->
-          ignore (Runner.step session pid);
+          (* a memory step never completes the operation *)
+          (match Runner.step session pid with
+           | `Continues -> ()
+           | `Returned _ ->
+             invalid_arg "Adversary.park: memory step unexpectedly returned");
           steps (fuel - 1)
         | None -> None
     in
@@ -52,9 +60,17 @@ let build_cover session pids op =
       acc @ [ pid, r ])
     [] pids
 
-(* Perform the pending block write of every covering process. *)
+(* Perform the pending block write of every covering process.  Each pid
+   was parked by [park] poised on a Write, and a write step never completes
+   an operation, so the step must report [`Continues]. *)
 let block_write session cover =
-  List.iter (fun (pid, _) -> ignore (Runner.step session pid)) cover
+  List.iter
+    (fun (pid, _) ->
+      match Runner.step session pid with
+      | `Continues -> ()
+      | `Returned _ ->
+        invalid_arg "Adversary.block_write: covering write unexpectedly returned")
+    cover
 
 let probe_on session prober probe =
   Runner.invoke session prober probe;
@@ -80,14 +96,19 @@ let run_general impl ~perturb ~disturb ~probe =
   let base_probe, _, _ = probe_on base prober probe in
   let hid = Runner.clone s2 in
   (* λ truncated just before its first fresh write: its covered writes are
-     then obliterated by the block write — invisible to the prober. *)
-  ignore (park hid lambda_proc disturb ~avoid:(List.map snd cover2));
+     then obliterated by the block write — invisible to the prober.  The
+     parked register index is irrelevant here (only the truncation point
+     matters), so discarding it is sound. *)
+  ignore (park hid lambda_proc disturb ~avoid:(List.map snd cover2) : int);
   block_write hid cover2;
   let hidden_probe, _, _ = probe_on hid prober probe in
   let comp = Runner.clone s2 in
   (* λ run to completion: its fresh write survives the block write. *)
   Runner.invoke comp lambda_proc disturb;
-  ignore (Runner.finish comp lambda_proc);
+  (* only completion matters, not λ's response or step count: the probe
+     below measures visibility of the completed write, so the discarded
+     pair carries no information this construction needs *)
+  ignore (Runner.finish comp lambda_proc : Value.t * int);
   block_write comp cover2;
   let completed_probe, _, _ = probe_on comp prober probe in
   {

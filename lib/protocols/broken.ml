@@ -11,6 +11,7 @@ type state =
   | Wait of { me : int; input : int }
   | Wait_scan of { me : int; n : int; input : int; pos : int; best : int }
   | Wait_decide of int
+  | Rogue of { input : int; stage : int }  (* 0: stray write, 1: decide *)
 
 let pp_state ppf = function
   | Lww { input; stage } -> Fmt.pf ppf "lww(%d,@%d)" input stage
@@ -23,6 +24,7 @@ let pp_state ppf = function
   | Wait { input; _ } -> Fmt.pf ppf "wait(%d)" input
   | Wait_scan { pos; best; _ } -> Fmt.pf ppf "wait-scan(@%d,best=%d)" pos best
   | Wait_decide v -> Fmt.pf ppf "wait-d(%d)" v
+  | Rogue { input; stage } -> Fmt.pf ppf "rogue(%d,@%d)" input stage
 
 let encode_state buf = function
   | Lww { input; stage } ->
@@ -64,6 +66,10 @@ let encode_state buf = function
   | Wait_decide v ->
     Buffer.add_char buf 'D';
     Value.add_varint buf v
+  | Rogue { input; stage } ->
+    Buffer.add_char buf 'R';
+    Value.add_varint buf input;
+    Value.add_varint buf stage
 
 let base ~name ~description ~n ~regs ~init ~poised ~on_read ~on_write :
     state Protocol.t =
@@ -164,6 +170,20 @@ let wait_for_all ~n =
       | _ -> assert false)
     ~on_write:(function
       | Wait { me; input } -> Wait_scan { me; n; input; pos = 0; best = input }
+      | _ -> assert false)
+
+let rogue_writer ~n =
+  base ~name:(Printf.sprintf "broken-rogue-%d" n)
+    ~description:"declares 1 register but writes register 1 (out of range)" ~n
+    ~regs:1
+    ~init:(fun ~pid:_ ~input -> Rogue { input = Value.to_int input; stage = 0 })
+    ~poised:(function
+      | Rogue { input; stage = 0 } -> Action.Write (1, Value.int input)
+      | Rogue { input; _ } -> Action.Decide (Value.int input)
+      | _ -> assert false)
+    ~on_read:(fun _ _ -> assert false)
+    ~on_write:(function
+      | Rogue r -> Rogue { r with stage = 1 }
       | _ -> assert false)
 
 let insomniac ~n =

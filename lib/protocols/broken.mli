@@ -35,3 +35,9 @@ val wait_for_all : n:int -> state Ts_model.Protocol.t
 (** Reads register 0 forever: violates (nondeterministic solo)
     termination. *)
 val insomniac : n:int -> state Ts_model.Protocol.t
+
+(** Declares a single register but is poised to write register 1 — outside
+    the declared range.  The footprint lint's negative control: the stray
+    write is caught {e statically} ({!Ts_analysis.Lint}), before any
+    execution engine would crash on it. *)
+val rogue_writer : n:int -> state Ts_model.Protocol.t

@@ -138,6 +138,25 @@ let test_bits_exceed_entropy () =
   Alcotest.(check bool) "average bits above log2 n!" true
     (avg >= Ts_core.Bounds.log2_factorial n)
 
+let test_decode_rejects_inflated_run () =
+  (* hand-craft a corrupt encoding: "process 0 takes 1000 consecutive
+     steps" — it completes its operation long before that, so the decoder
+     must reject the bits rather than silently discarding the [`Done] *)
+  let w = Bits.writer () in
+  Bits.write_gamma w 2 (* n *);
+  Bits.write_gamma w (2 + 1) (* two events *);
+  (* Start 0: mtf rank 0 *)
+  Bits.write_gamma w 1;
+  Bits.write_bit w false;
+  (* Run (0, 1000): mtf rank 0 again *)
+  Bits.write_gamma w 1;
+  Bits.write_bit w true;
+  Bits.write_gamma w 1000;
+  let enc = { Codec.bits = Bits.contents w; events = 2 } in
+  Alcotest.check_raises "mid-run completion rejected"
+    (Invalid_argument "Codec.decode: process finished mid-run (corrupt encoding)")
+    (fun () -> ignore (Codec.decode (Tas_lock.make ~n:2) enc))
+
 let test_decode_rejects_wrong_n () =
   let o = Arena.serial (Tas_lock.make ~n:3) ~order:[| 0; 1; 2 |] in
   let enc = Codec.encode o in
@@ -161,4 +180,6 @@ let suite =
         test_distinct_orders_give_distinct_encodings;
       Alcotest.test_case "bits exceed the entropy floor" `Quick test_bits_exceed_entropy;
       Alcotest.test_case "decode rejects wrong n" `Quick test_decode_rejects_wrong_n;
+      Alcotest.test_case "decode rejects an inflated run length" `Quick
+        test_decode_rejects_inflated_run;
     ] )

@@ -209,6 +209,48 @@ let test_resilient_serial_equals_parallel () =
   Alcotest.(check bool) "same verdict" true (a.Explore.verdict = b.Explore.verdict);
   Alcotest.(check bool) "same stats" true (a.Explore.stats = b.Explore.stats)
 
+(* --- budget: heap high-water guard ------------------------------------ *)
+
+module Budget = Ts_core.Budget
+
+let test_heap_cap_check_trips () =
+  (* any live program holds more than one word, so a 1-word allowance is
+     already breached; [check] must see it without charging *)
+  let b = Budget.create ~max_heap_words:1 () in
+  Alcotest.(check bool) "breached reports the heap cap" true
+    (Budget.breached b = Some (Budget.Heap_cap 1));
+  Alcotest.check_raises "check raises Heap_cap" (Budget.Exhausted (Budget.Heap_cap 1))
+    (fun () -> Budget.check b);
+  Alcotest.(check int) "check charged nothing" 0 (Budget.spent b)
+
+let test_heap_cap_sampled_on_charge () =
+  (* the heap is sampled when the node counter crosses a multiple of 256:
+     255 single-node charges stay silent, the 256th trips *)
+  let b = Budget.create ~max_heap_words:1 () in
+  for _ = 1 to 255 do
+    Budget.charge b 1
+  done;
+  Alcotest.(check int) "255 nodes charged without sampling" 255 (Budget.spent b);
+  Alcotest.check_raises "crossing the sample boundary trips"
+    (Budget.Exhausted (Budget.Heap_cap 1))
+    (fun () -> Budget.charge b 1)
+
+let test_heap_cap_stops_search_cleanly () =
+  (* a tripped heap guard must surface as a structured partial result, not
+     an exception out of the checker *)
+  let r =
+    Explore.check_consensus (Racing.make ~n:3)
+      ~budget:(Budget.create ~max_heap_words:1 ())
+      ~inputs_list:(Explore.binary_inputs 3) ~max_configs:100_000 ~max_depth:50
+      ~solo_budget:60 ~check_solo:true
+  in
+  Alcotest.(check bool) "stopped on the heap cap" true
+    (r.Explore.stopped = Some (Budget.Heap_cap 1));
+  Alcotest.(check bool) "result marked truncated" true
+    r.Explore.stats.Explore.truncated;
+  Alcotest.(check bool) "partial verdict, not a violation" true
+    (r.Explore.verdict = Ok ())
+
 let test_crash_stuck_pp () =
   let r =
     resilient ~t:1 (Broken.wait_for_all ~n:3) ~n:3 ~max_configs:2_000 ~max_depth:10
@@ -242,4 +284,9 @@ let suite =
       Alcotest.test_case "resilience: serial = parallel" `Quick
         test_resilient_serial_equals_parallel;
       Alcotest.test_case "crash-stuck pretty-printing" `Quick test_crash_stuck_pp;
+      Alcotest.test_case "budget: heap cap trips check" `Quick test_heap_cap_check_trips;
+      Alcotest.test_case "budget: heap sampled at charge boundary" `Quick
+        test_heap_cap_sampled_on_charge;
+      Alcotest.test_case "budget: heap cap stops a search cleanly" `Quick
+        test_heap_cap_stops_search_cleanly;
     ] )

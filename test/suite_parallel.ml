@@ -167,7 +167,7 @@ let prop_pack_injective name proto ~n =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~verbose:false)
+    (fun t -> QCheck_alcotest.to_alcotest ~verbose:false t)
     [
       prop_pack_injective "racing-2" (Racing.make ~n:2) ~n:2;
       prop_pack_injective "broken-lww-2" (Broken.last_write_wins ~n:2) ~n:2;

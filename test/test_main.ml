@@ -21,4 +21,5 @@ let () =
       Suite_parallel.suite;
       Suite_fault.suite;
       Suite_runtime.suite;
+      Suite_analysis.suite;
     ]
