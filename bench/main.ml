@@ -78,10 +78,13 @@ let bechamel_tests () =
   ]
 
 (* Search-engine observability: run the e14 and e5/e6 workloads once more
-   outside the timer and print the counters the engine kept. *)
+   outside the timer, with the metrics registry armed, and print the
+   counters the engine kept.  The returned snapshot goes into the --json
+   file under the versioned "metrics_v" key. *)
 let engine_stats () =
-  Format.printf "@.%s@.Search-engine counters (one untimed run of the core workloads)@.%s@."
+  Format.printf "@.%s@.Search-engine metrics (one untimed run of the core workloads)@.%s@."
     (String.make 78 '-') (String.make 78 '-');
+  Ts_obs.Obs.Metrics.start ();
   let module E = Ts_checker.Explore in
   let r =
     E.check_consensus (Broken.last_write_wins ~n:2)
@@ -93,7 +96,10 @@ let engine_stats () =
   let t = Valency.create proto ~horizon:60 in
   let i0 = Config.initial proto ~inputs:[| Value.int 0; Value.int 1; Value.int 0 |] in
   ignore (Theorem.lemma4 t i0 (Pset.all 3));
-  Format.printf "  lemma4 racing-3:   %a@." Valency.pp_stats (Valency.stats t)
+  Format.printf "  lemma4 racing-3:   %a@." Valency.pp_stats (Valency.stats t);
+  let snap = Ts_obs.Obs.Metrics.stop () in
+  Format.printf "%a@." Ts_obs.Obs.Metrics.pp_snapshot snap;
+  snap
 
 (* Minimal JSON escaping for benchmark names (alphanumeric + dashes in
    practice, but be safe). *)
@@ -110,7 +116,11 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json file results =
+(* The harness/unit/estimator/results keys render byte-identically to the
+   pre-metrics format (BENCH_PR1.json comparisons parse unchanged); the
+   engine-metrics snapshot rides along under the versioned "metrics_v"
+   key. *)
+let write_json file results metrics =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -123,12 +133,13 @@ let write_json file results =
       p "    \"%s\": %.1f%s\n" (json_escape name) est
         (if i = List.length results - 1 then "" else ","))
     results;
-  p "  }\n";
+  p "  },\n";
+  p "  \"metrics_v\": %s\n" (Ts_obs.Export.metrics_json metrics);
   p "}\n";
   close_out oc;
   Format.printf "wrote %s@." file
 
-let run_bechamel ~json () =
+let run_bechamel ~json ~metrics () =
   Format.printf "@.%s@.Bechamel timings (one per table; OLS ns/run over a short quota)@.%s@."
     (String.make 78 '-') (String.make 78 '-');
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -151,7 +162,7 @@ let run_bechamel ~json () =
       |> List.sort compare
     in
     List.iter (fun (name, est) -> Format.printf "  %-42s %12.0f ns/run@." name est) estimates;
-    Option.iter (fun file -> write_json file estimates) json
+    Option.iter (fun file -> write_json file estimates metrics) json
 
 (* Poor man's argv parsing: flags plus one optional "--json FILE" pair. *)
 let rec find_json = function
@@ -169,7 +180,7 @@ let () =
   Format.printf "for Consensus' (PODC'16 BA / STOC'16), plus the JTT and Fan-Lynch bounds.@.";
   if not bench_only then Tables.all ~max_n ();
   if not tables_only then begin
-    engine_stats ();
-    run_bechamel ~json ()
+    let metrics = engine_stats () in
+    run_bechamel ~json ~metrics ()
   end;
   Format.printf "@.done.@."

@@ -56,11 +56,32 @@ let budget_of ?deadline ?max_nodes () =
   | None, None -> Budget.unlimited
   | _ -> Budget.create ?deadline ?max_nodes ()
 
+module Obs = Ts_obs.Obs
+module Obs_export = Ts_obs.Export
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Arm the engine's metrics registry for the run and print the \
+                 counter/gauge/histogram summary afterwards.")
+
+(* Run [f] with metrics armed when requested; the summary prints even if
+   [f] raises (partial runs are exactly when the counters are interesting). *)
+let with_metrics enabled f =
+  if not enabled then f ()
+  else begin
+    Obs.Metrics.start ();
+    Fun.protect f ~finally:(fun () ->
+        Format.printf "@.engine metrics:@.%a@." Obs.Metrics.pp_snapshot
+          (Obs.Metrics.stop ()))
+  end
+
 (* witness *)
-let witness n horizon protocol diagram deadline max_nodes =
+let witness n horizon protocol diagram deadline max_nodes metrics =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
+    with_metrics metrics @@ fun () ->
     let budget = budget_of ?deadline ?max_nodes () in
     let outcome, used =
       match horizon with
@@ -99,7 +120,7 @@ let witness_cmd =
   in
   Cmd.v (Cmd.info "witness" ~doc:"Run the Zhu Theorem-1 adversary")
     Term.(const witness $ n_arg $ horizon_arg $ protocol_arg $ diagram
-          $ deadline_arg $ max_nodes_arg)
+          $ deadline_arg $ max_nodes_arg $ metrics_arg)
 
 (* check: shared result reporting for the exploration subcommands *)
 let report_explore r =
@@ -133,10 +154,11 @@ let domains_arg =
   Arg.(value & opt int 1
        & info [ "domains" ] ~docv:"D" ~doc:"Check input vectors on D domains.")
 
-let check n protocol max_configs max_depth domains deadline max_nodes =
+let check n protocol max_configs max_depth domains deadline max_nodes metrics =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
+    with_metrics metrics @@ fun () ->
     report_explore
       (Ts_checker.Explore.check_consensus proto ~domains
          ~budget:(budget_of ?deadline ?max_nodes ())
@@ -146,13 +168,14 @@ let check n protocol max_configs max_depth domains deadline max_nodes =
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Bounded model-check a protocol")
     Term.(const check $ n_arg $ protocol_arg $ max_configs_arg $ max_depth_arg
-          $ domains_arg $ deadline_arg $ max_nodes_arg)
+          $ domains_arg $ deadline_arg $ max_nodes_arg $ metrics_arg)
 
 (* resilient *)
-let resilient n t protocol max_configs max_depth domains deadline max_nodes =
+let resilient n t protocol max_configs max_depth domains deadline max_nodes metrics =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
+    with_metrics metrics @@ fun () ->
     let r =
       Ts_checker.Explore.check_t_resilient proto ~domains ~t
         ~budget:(budget_of ?deadline ?max_nodes ())
@@ -177,7 +200,8 @@ let resilient_cmd =
     (Cmd.info "resilient"
        ~doc:"Check t-resilient termination under crash-stop faults")
     Term.(const resilient $ n_arg $ t $ protocol_arg $ max_configs_arg
-          $ max_depth_arg $ domains_arg $ deadline_arg $ max_nodes_arg)
+          $ max_depth_arg $ domains_arg $ deadline_arg $ max_nodes_arg
+          $ metrics_arg)
 
 (* jtt *)
 let jtt n obj =
@@ -382,6 +406,67 @@ let cover n alg budget =
       (Ts_mutex.Covering_search.search a ~max_configs:budget);
     0
 
+(* trace *)
+let trace_run n horizon protocol out metrics deadline max_nodes =
+  match protocol_of_name protocol n with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok (Protocol.Packed proto) ->
+    let budget = budget_of ?deadline ?max_nodes () in
+    Obs.start_tracing ();
+    if metrics then Obs.Metrics.start ();
+    (* Capture construction failures so a failed run still exports the
+       spans recorded up to the failure point. *)
+    let outcome =
+      match
+        match horizon with
+        | Some h ->
+          let t = Valency.create ~budget proto ~horizon:h in
+          Theorem.theorem1_outcome t
+        | None ->
+          fst (Theorem.theorem1_escalate ~budget proto ~initial_horizon:(10 * n))
+      with
+      | o -> Ok o
+      | exception Failure msg -> Error msg
+    in
+    let events = Obs.stop_tracing () in
+    let oc = open_out out in
+    output_string oc (Obs_export.chrome_trace events);
+    close_out oc;
+    print_string (Obs_export.phase_table events);
+    Format.printf
+      "@.wrote %s (%d events); load it in chrome://tracing or https://ui.perfetto.dev@."
+      out (List.length events);
+    if metrics then
+      Format.printf "@.engine metrics:@.%a@." Obs.Metrics.pp_snapshot
+        (Obs.Metrics.stop ());
+    (match outcome with
+     | Ok (Theorem.Complete _) ->
+       Format.printf "@.theorem 1 construction complete.@."; 0
+     | Ok (Theorem.Partial (stop, _)) ->
+       Format.printf
+         "@.partial run traced (%a): the spans cover the work done before the budget tripped.@."
+         Theorem.pp_stop stop;
+       2
+     | Error msg -> Format.printf "@.construction failed: %s@." msg; 1)
+
+let trace_cmd =
+  let protocol_pos =
+    Arg.(value & pos 0 string "racing"
+         & info [] ~docv:"PROTOCOL"
+             ~doc:"Protocol to trace (same names as --protocol elsewhere).")
+  in
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Chrome trace_event JSON output file.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the Theorem-1 adversary with span tracing armed and export \
+             the phase breakdown plus a Chrome/Perfetto trace")
+    Term.(const trace_run $ n_arg $ horizon_arg $ protocol_pos $ out
+          $ metrics_arg $ deadline_arg $ max_nodes_arg)
+
 (* analyze *)
 let analyze all protocol json domains =
   let module A = Ts_analysis.Analyze in
@@ -452,7 +537,7 @@ let () =
            [
              witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
              encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
-             dot_cmd; cover_cmd; analyze_cmd;
+             dot_cmd; cover_cmd; analyze_cmd; trace_cmd;
            ])
     with
     | Valency.Horizon_exceeded msg ->

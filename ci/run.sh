@@ -32,6 +32,35 @@ if timeout 300 dune exec bin/tightspace.exe -- resilient --protocol broken-wait 
 fi
 grep -q "witness replayed independently: confirmed" /tmp/resilient-broken.out
 
+echo "== trace smoke (span tracing + Chrome export; 5 min cap) =="
+# the Theorem-1 trace must export well-formed Chrome trace_event JSON with
+# at least one span per lemma phase (the names CI greps for are the stable
+# span vocabulary documented in docs/OBSERVABILITY.md)
+timeout 300 dune exec bin/tightspace.exe -- trace racing -n 3 \
+  --out /tmp/trace.json --metrics > /tmp/trace.out
+if command -v python3 > /dev/null 2>&1; then
+  python3 -c 'import json; json.load(open("/tmp/trace.json"))'
+fi
+for span in theorem1 lemma1 lemma2 lemma3 lemma4 valency.search; do
+  grep -q "\"name\":\"$span\"" /tmp/trace.json || {
+    echo "ci: trace.json is missing span '$span'" >&2; exit 1; }
+done
+grep -q "engine metrics:" /tmp/trace.out
+
+echo "== odoc (skipped unless odoc is installed) =="
+if command -v odoc > /dev/null 2>&1; then
+  dune build @doc 2> /tmp/odoc.err
+  # odoc warnings (broken references, missing comments) land on stderr;
+  # the docs satellite requires a warning-clean render
+  if [ -s /tmp/odoc.err ]; then
+    echo "ci: dune build @doc produced warnings:" >&2
+    cat /tmp/odoc.err >&2
+    exit 1
+  fi
+else
+  echo "odoc not installed; skipping doc build"
+fi
+
 echo "== static analysis gate (5 min cap) =="
 # the full gate: every legitimate protocol clean, every Broken.* control
 # flagged, the parallel engine certified race-free, the planted race caught

@@ -42,7 +42,16 @@ val analyze : ?domains:int -> Registry.entry -> protocol_report
     pair.  [?domains] also sizes the instrumented engine certification. *)
 val analyze_all : ?domains:int -> unit -> overall
 
+(** Machine-readable form of one protocol's report, as emitted by
+    [tightspace analyze --protocol NAME --json]. *)
 val report_to_json : protocol_report -> Json.t
+
+(** Machine-readable form of a whole gate run, as emitted by
+    [tightspace analyze --all --json]. *)
 val overall_to_json : overall -> Json.t
+
+(** Human-readable rendering of one protocol's report. *)
 val pp_report : Format.formatter -> protocol_report -> unit
+
+(** Human-readable rendering of a whole gate run. *)
 val pp_overall : Format.formatter -> overall -> unit

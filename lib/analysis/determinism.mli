@@ -29,6 +29,10 @@
 
 open Ts_model
 
+(** [run proto ~inputs_list] replays a bounded exploration of [proto]
+    from every input vector with the double-step and shadow-copy probes
+    armed, returning every divergence found (empty means the protocol
+    passed).  [?max_configs] and [?max_depth] bound each exploration. *)
 val run :
   ?max_configs:int ->
   ?max_depth:int ->

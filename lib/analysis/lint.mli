@@ -44,6 +44,11 @@ type summary = {
   decide_reachable : bool;
 }
 
+(** [run claims proto ~inputs_list] abstractly enumerates the actions
+    [proto] can perform from the given input vectors, checks them against
+    [claims] and the protocol's own declarations, and returns the findings
+    plus the footprint summary.  [?max_configs] and [?max_depth] bound the
+    enumeration. *)
 val run :
   ?max_configs:int ->
   ?max_depth:int ->
@@ -52,5 +57,8 @@ val run :
   inputs_list:Value.t array list ->
   Finding.t list * summary
 
+(** Machine-readable form of the footprint summary. *)
 val summary_to_json : summary -> Json.t
+
+(** Human-readable rendering of the footprint summary. *)
 val pp_summary : Format.formatter -> summary -> unit

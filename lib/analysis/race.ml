@@ -154,7 +154,11 @@ let check events =
          | Trace.Read, true ->
            st.atomic_r <- vc_join st.atomic_r now;
            st.atomic_r_last <- Some a);
-        tick domain)
+        tick domain
+      | Trace.Span_open _ | Trace.Span_close _ | Trace.Instant _ ->
+        (* profiler events share the unified stream but carry no
+           happens-before information; count and skip *)
+        ())
     events;
   {
     events = !n_events;

@@ -58,5 +58,8 @@ val certify_engine : ?domains:int -> unit -> report
     nothing. *)
 val planted : ?domains:int -> unit -> report
 
+(** Machine-readable form of a race report. *)
 val to_json : report -> Json.t
+
+(** Human-readable rendering of a race report. *)
 val pp_report : Format.formatter -> report -> unit

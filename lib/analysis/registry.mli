@@ -25,5 +25,8 @@ type entry = {
 (** Every registered instance, in display order. *)
 val all : unit -> entry list
 
+(** Look an entry up by its registered name. *)
 val find : string -> entry option
+
+(** The registered names, in display order. *)
 val names : unit -> string list

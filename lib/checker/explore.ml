@@ -1,5 +1,6 @@
 open Ts_model
 open Ts_core
+module Obs = Ts_obs.Obs
 
 type violation =
   | Agreement_violation of { inputs : Value.t array; schedule : Execution.event list; values : Value.t list }
@@ -140,6 +141,24 @@ let solo_can_decide proto pk cfg p ~budget ~guard ~cache ~cache_loc ~counters =
 
 exception Found of violation
 
+(* Close one finished per-vector search into the profiler: span attributes
+   for the phase table, counter increments for the bench metrics blob.
+   The span is entered by [observed_bfs] around [bfs_reachable]. *)
+let observe_vector sp counters verdict =
+  Obs.set_int sp "configs" counters.explored;
+  Obs.set_int sp "deepest" counters.deep;
+  Obs.set_bool sp "truncated" counters.trunc;
+  Obs.set_bool sp "violation" (Result.is_error verdict);
+  Obs.close sp;
+  Obs.Metrics.incr "explore.vectors";
+  Obs.Metrics.incr ~by:counters.explored "explore.configs_explored";
+  Obs.Metrics.incr ~by:counters.hits "explore.table_hits";
+  Obs.Metrics.incr ~by:counters.misses "explore.table_misses";
+  Obs.Metrics.incr ~by:counters.solo_hits "explore.solo_cache_hits";
+  Obs.Metrics.incr ~by:counters.solo_misses "explore.solo_cache_misses";
+  Obs.Metrics.gauge_max "explore.peak_frontier" counters.peak;
+  Obs.Metrics.gauge_max "explore.deepest" counters.deep
+
 (* The shared BFS over one input vector's reachable configurations,
    self-contained: its own packer, tables, budget and counters.  [examine]
    is called on every dequeued configuration and raises [Found] to stop
@@ -205,6 +224,19 @@ let bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examin
     counters.trunc <- true;
     Ok (), Some b
 
+(* [bfs_reachable] wrapped in an ["explore.vector"] span; a raising
+   protocol callback must not leak the span (its close runs on this
+   domain's parent stack). *)
+let observed_bfs proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine =
+  let sp = Obs.enter ~cat:"explore" "explore.vector" in
+  match bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine with
+  | verdict, stopped ->
+    observe_vector sp counters verdict;
+    verdict, stopped
+  | exception e ->
+    Obs.close sp;
+    raise e
+
 (* One input vector's consensus-property search. *)
 let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo ~guard =
   let counters = fresh_counters () in
@@ -231,7 +263,7 @@ let check_from proto ~k ~inputs ~max_configs ~max_depth ~solo_budget ~check_solo
       done
   in
   let verdict, stopped =
-    bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine
+    observed_bfs proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine
   in
   { verdict; stats = stats_of_counters counters; stopped; worker_errors = [] }
 
@@ -332,7 +364,7 @@ let check_resilient_from proto ~t ~inputs ~max_configs ~max_depth ~solo_budget ~
       crash_sets
   in
   let verdict, stopped =
-    bfs_reachable proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine
+    observed_bfs proto ~inputs ~max_configs ~max_depth ~guard ~counters ~examine
   in
   { verdict; stats = stats_of_counters counters; stopped; worker_errors = [] }
 
@@ -353,6 +385,7 @@ let values_equal xs ys =
    schedule step by step ([Execution.apply] is [Config.step] folded) from
    the initial configuration and re-check the claimed property failure. *)
 let replay ?(solo_budget = 300) proto violation =
+  Obs.with_span ~cat:"explore" "explore.replay" @@ fun _sp ->
   let apply inputs schedule =
     match Execution.apply proto (Config.initial proto ~inputs) schedule with
     | cfg, _ -> Ok cfg

@@ -50,4 +50,5 @@ val check : t -> unit
 (** The first limit currently breached, without raising. *)
 val breached : t -> breach option
 
+(** Human-readable rendering of a breach, naming the limit that tripped. *)
 val pp_breach : Format.formatter -> breach -> unit

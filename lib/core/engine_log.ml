@@ -1,3 +1,45 @@
+(* The engine's log source, tapped into the observability stream (see
+   engine_log.mli).  Every message still flows to whatever Logs reporter
+   the host installed; while span tracing is armed, each message is
+   additionally rendered and recorded as an Obs instant so engine-log
+   lines land on the same timeline as the profiler's spans. *)
+
 let src = Logs.Src.create "tightspace.core" ~doc:"Zhu lower-bound engine"
 
-module Log = (val Logs.src_log src : Logs.LOG)
+module Inner = (val Logs.src_log src : Logs.LOG)
+
+let level_name = function
+  | Logs.App -> "app"
+  | Logs.Error -> "error"
+  | Logs.Warning -> "warning"
+  | Logs.Info -> "info"
+  | Logs.Debug -> "debug"
+
+(* Render the message into a buffer and emit it as an instant.  Logs'
+   msgf hands us a format4 whose formatter parameter is a real
+   Format.formatter, so kfprintf (not kasprintf) is the right driver. *)
+let tap level msgf =
+  let buf = Buffer.create 80 in
+  let ppf = Format.formatter_of_buffer buf in
+  msgf (fun ?header:_ ?tags:_ fmt ->
+      Format.kfprintf (fun ppf -> Format.pp_print_flush ppf ()) ppf fmt);
+  Ts_obs.Obs.instant ~cat:("log." ^ level_name level) (Buffer.contents buf)
+
+module Log : Logs.LOG = struct
+  let msg level msgf =
+    if Ts_obs.Obs.tracing () then tap level msgf;
+    Inner.msg level msgf
+
+  let app msgf = msg Logs.App msgf
+  let err msgf = msg Logs.Error msgf
+  let warn msgf = msg Logs.Warning msgf
+  let info msgf = msg Logs.Info msgf
+  let debug msgf = msg Logs.Debug msgf
+
+  (* The continuation-passing and result-handling entry points delegate
+     untapped: they are not used on the engine's hot logging paths, and
+     their 'b-polymorphic continuations do not fit the unit-typed tap. *)
+  let kmsg = Inner.kmsg
+  let on_error = Inner.on_error
+  let on_error_msg = Inner.on_error_msg
+end

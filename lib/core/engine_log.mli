@@ -6,8 +6,19 @@
     {[
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Engine_log.src (Some Logs.Debug)
-    ]} *)
+    ]}
+
+    The log is unified with the observability stream: while span tracing
+    is armed ({!Ts_obs.Obs.start_tracing}), every message sent through
+    {!Log} is additionally recorded as an {!Ts_obs.Obs.Instant} with
+    category ["log.<level>"], so engine-log lines appear on the same
+    Chrome-trace timeline as the profiler's spans.  The installed Logs
+    reporter sees every message regardless. *)
 
 val src : Logs.src
 
+(** The tapped logger.  [Log.msg] and the level shortcuts ([app], [err],
+    [warn], [info], [debug]) feed both the Logs reporter and, when armed,
+    the observability stream; [kmsg] and the [on_error] helpers delegate
+    to the plain source logger. *)
 module Log : Logs.LOG

@@ -1,4 +1,5 @@
 open Ts_model
+module Obs = Ts_obs.Obs
 
 type lemma1_result = {
   phi : Execution.event list;
@@ -16,6 +17,8 @@ let negate v = Value.int (1 - Value.to_int v)
 let lemma1 t c p =
   if Pset.cardinal p < 3 then invalid_arg "Lemmas.lemma1: |P| must be >= 3";
   Engine_log.Log.debug (fun m -> m "lemma1: P=%a" Pset.pp p);
+  Obs.with_span ~cat:"lemma" "lemma1" @@ fun sp ->
+  Obs.set_int sp "participants" (Pset.cardinal p);
   (* A candidate z works at configuration [cfg] if P - {z} is bivalent. *)
   let find_z cfg =
     List.find_opt (fun z -> Valency.is_bivalent t cfg (Pset.remove z p)) (Pset.to_list p)
@@ -50,6 +53,8 @@ let lemma1 t c p =
     walk c [] psi
 
 let solo_deciding t c z =
+  Obs.with_span ~cat:"lemma" "solo_deciding" @@ fun sp ->
+  Obs.set_int sp "pid" z;
   let zs = Pset.singleton z in
   match Valency.can_decide t c zs Valency.zero with
   | Some w -> w
@@ -59,6 +64,11 @@ let solo_deciding t c z =
      | None -> fail "solo_deciding: p%d has no deciding solo execution in horizon" z)
 
 let split_at_uncovered_write t c _z ~covered ~zeta =
+  (* the executable Lemma 2: walk the solo execution to its first write
+     outside the covered set *)
+  Obs.with_span ~cat:"lemma" "lemma2" @@ fun sp ->
+  Obs.set_int sp "covered" (List.length covered);
+  Obs.set_int sp "zeta_len" (List.length zeta);
   let proto = Valency.protocol t in
   let in_covered r = List.mem r covered in
   let rec go cfg applied_rev = function
@@ -100,6 +110,8 @@ let lemma3 t c ~p ~r =
   Engine_log.Log.debug (fun m -> m "lemma3: P=%a R=%a" Pset.pp p Pset.pp r);
   let proto = Valency.protocol t in
   if Pset.is_empty r then invalid_arg "Lemmas.lemma3: R must be non-empty";
+  Obs.with_span ~cat:"lemma" "lemma3" @@ fun sp ->
+  Obs.set_int sp "covering" (Pset.cardinal r);
   if not (Pset.subset r p) then invalid_arg "Lemmas.lemma3: R must be a subset of P";
   if not (Covering.is_covering proto c r) then
     invalid_arg "Lemmas.lemma3: R is not a covering set";

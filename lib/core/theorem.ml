@@ -1,4 +1,5 @@
 open Ts_model
+module Obs = Ts_obs.Obs
 
 type 's nice = {
   alpha : Execution.event list;
@@ -35,6 +36,8 @@ let rec lemma4 t c p =
     fail "lemma4: P=%a not bivalent from C within horizon" Pset.pp p;
   if card = 2 then { alpha = []; cfg = c; q_pair = p; cover = Pset.empty }
   else begin
+    Obs.with_span ~cat:"lemma" "lemma4" @@ fun l4_sp ->
+    Obs.set_int l4_sp "participants" card;
     (* Lemma 1: peel off a process z, keeping P - {z} bivalent. *)
     let { Lemmas.phi = gamma; z } = Lemmas.lemma1 t c p in
     let d = apply t c gamma in
@@ -44,43 +47,63 @@ let rec lemma4 t c p =
     let iterations : 's iteration list ref = ref [] in
     let transitions : transition list ref = ref [] in
     let max_rounds = (1 lsl min proto.Protocol.num_registers 16) + 2 in
-    (* Walk D_i -> D_{i+1} until two rounds cover the same register set. *)
+    (* Walk D_i -> D_{i+1} until two rounds cover the same register set.
+       Each round runs inside its own span; the recursion happens outside
+       it (a span cannot bracket a tail call), so the round's decision is
+       computed under the span and acted on after it closes. *)
     let rec build d_i q_i round =
       Budget.check (Valency.budget t);
       if round > max_rounds then
         fail "lemma4: no pigeonhole repeat after %d rounds" max_rounds;
-      let r_i = Pset.diff p' q_i in
-      let v_i = Covering.covered_set proto d_i r_i in
-      let repeat =
-        List.find_index (fun it -> it.v = v_i) (List.rev !iterations)
+      let decision =
+        Obs.with_span ~cat:"lemma" "lemma4.round" @@ fun sp ->
+        Obs.set_int sp "round" round;
+        let r_i = Pset.diff p' q_i in
+        let v_i = Covering.covered_set proto d_i r_i in
+        Obs.set_int sp "registers_covered" (List.length v_i);
+        let repeat =
+          List.find_index (fun it -> it.v = v_i) (List.rev !iterations)
+        in
+        match repeat with
+        | Some i0 ->
+          Engine_log.Log.debug (fun m ->
+              m "lemma4: pigeonhole at rounds %d/%d over {%a}" i0 round
+                Fmt.(list ~sep:comma (fmt "R%d")) v_i);
+          Obs.set_bool sp "pigeonhole" true;
+          `Finish (r_i, v_i, i0)
+        | None ->
+          iterations := { d = d_i; v = v_i } :: !iterations;
+          if Pset.is_empty r_i then begin
+            (* Empty covering set: D_{i+1} = D_i with an empty transition;
+               the next round repeats V = [] and triggers the pigeonhole. *)
+            transitions := { t_phi = []; t_beta = []; t_psi = [] } :: !transitions;
+            `Next (d_i, q_i)
+          end
+          else begin
+            let l3 = Lemmas.lemma3 t d_i ~p:p' ~r:r_i in
+            let beta = Covering.block_write r_i in
+            let d_phi_beta =
+              Obs.with_span ~cat:"covering" "block_write" @@ fun bsp ->
+              Obs.set_int bsp "writers" (Pset.cardinal r_i);
+              apply t d_i (l3.Lemmas.phi3 @ beta)
+            in
+            let rec_i = lemma4 t d_phi_beta p' in
+            transitions :=
+              { t_phi = l3.Lemmas.phi3; t_beta = beta; t_psi = rec_i.alpha }
+              :: !transitions;
+            `Next (rec_i.cfg, rec_i.q_pair)
+          end
       in
-      match repeat with
-      | Some i0 ->
-        Engine_log.Log.debug (fun m ->
-            m "lemma4: pigeonhole at rounds %d/%d over {%a}" i0 round
-              Fmt.(list ~sep:comma (fmt "R%d")) v_i);
-        finish d_i q_i r_i v_i i0
-      | None ->
-        iterations := { d = d_i; v = v_i } :: !iterations;
-        if Pset.is_empty r_i then begin
-          (* Empty covering set: D_{i+1} = D_i with an empty transition;
-             the next round repeats V = [] and triggers the pigeonhole. *)
-          transitions := { t_phi = []; t_beta = []; t_psi = [] } :: !transitions;
-          build d_i q_i (round + 1)
-        end
-        else begin
-          let l3 = Lemmas.lemma3 t d_i ~p:p' ~r:r_i in
-          let beta = Covering.block_write r_i in
-          let d_phi_beta = apply t d_i (l3.Lemmas.phi3 @ beta) in
-          let rec_i = lemma4 t d_phi_beta p' in
-          transitions :=
-            { t_phi = l3.Lemmas.phi3; t_beta = beta; t_psi = rec_i.alpha }
-            :: !transitions;
-          build rec_i.cfg rec_i.q_pair (round + 1)
-        end
+      match decision with
+      | `Finish (r_i, v_i, i0) -> finish d_i q_i r_i v_i i0
+      | `Next (d, q) -> build d q (round + 1)
     (* Index j = current round; V_j equals V_{i0}: insert z's hidden steps
        at round i0 and replay the rest. *)
     and finish d_j q_j r_j v_j i0 =
+      (* the covering extension: insert z's hidden solo steps at the
+         pigeonhole round so z joins the cover invisibly *)
+      Obs.with_span ~cat:"covering" "covering_extension" @@ fun sp ->
+      Obs.set_int sp "pigeonhole_round" i0;
       let iters = List.rev !iterations in
       let trans = List.rev !transitions in
       let it0 = List.nth iters i0 in
@@ -120,6 +143,8 @@ let rec lemma4 t c p =
       if not (Valency.is_bivalent t final q_j) then
         fail "lemma4: final pair %a not verifiably bivalent" Pset.pp q_j;
       ignore fresh;
+      Obs.set_int sp "registers_covered" (Pset.cardinal cover);
+      Obs.set_int sp "alpha_len" (List.length alpha);
       { alpha; cfg = final; q_pair = q_j; cover }
     in
     build rec0.cfg rec0.q_pair 0
@@ -146,6 +171,9 @@ let theorem1 t =
   let i0 = Config.initial proto ~inputs in
   Engine_log.Log.info (fun m ->
       m "theorem1: %s, n=%d, horizon=%d" proto.Protocol.name n (Valency.horizon t));
+  Obs.with_span ~cat:"theorem" "theorem1" @@ fun t1_sp ->
+  Obs.set_int t1_sp "n" n;
+  Obs.set_str t1_sp "protocol" proto.Protocol.name;
   (match Valency.can_decide t i0 (Pset.singleton 0) Valency.zero with
    | Some _ -> ()
    | None -> fail "theorem1: {p0} cannot decide 0 solo (Prop. 2 fails)");

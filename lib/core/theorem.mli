@@ -101,4 +101,6 @@ val pp_progress : Format.formatter -> progress -> unit
     count.  Returns an error message on any mismatch. *)
 val verify : certificate -> 's Protocol.t -> (unit, string) result
 
+(** Human-readable rendering of a certificate: the space bound, the
+    witness execution length and the registers it writes. *)
 val pp_certificate : Format.formatter -> certificate -> unit

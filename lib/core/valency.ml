@@ -1,4 +1,5 @@
 open Ts_model
+module Obs = Ts_obs.Obs
 
 exception Horizon_exceeded of string
 
@@ -83,6 +84,9 @@ let decided_here cfg v = List.exists (Value.equal v) (Config.decided_values cfg)
    searches may run on separate domains; counters come back as data and
    are folded into [t] by the (single-domain) coordinator. *)
 let search t cfg ps v =
+  (* explicit enter/close (not with_span): this is the engine's hottest
+     entry point and the closure must not allocate while disarmed *)
+  let sp = Obs.enter ~cat:"valency" "valency.search" in
   let pk = Ckey.packer t.proto in
   let visited = Ckey.Tbl.create 1024 in
   let q = Queue.create () in
@@ -129,15 +133,31 @@ let search t cfg ps v =
    with
    | Exit -> ()
    | Budget.Exhausted _ as e -> stop := Some e);
+  Obs.set_int sp "target" (Value.to_int v);
+  Obs.set_int sp "nodes" !nodes;
+  Obs.set_int sp "peak_frontier" !peak;
+  Obs.set_bool sp "decided" (!result <> None);
+  Obs.close sp;
   !result, !nodes, !peak, !stop
 
 let record t (result, nodes, peak, stop) =
   t.searches <- t.searches + 1;
   t.nodes_expanded <- t.nodes_expanded + nodes;
   if peak > t.peak_frontier then t.peak_frontier <- peak;
+  Obs.Metrics.incr "valency.searches";
+  Obs.Metrics.incr ~by:nodes "valency.nodes_expanded";
+  Obs.Metrics.gauge_max "valency.peak_frontier" peak;
   (* an aborted search has no trustworthy answer: re-raise (after the
      accounting above) and never memoize it *)
   match stop with Some e -> raise e | None -> result
+
+let memo_hit t n =
+  t.memo_hits <- t.memo_hits + n;
+  Obs.Metrics.incr ~by:n "valency.memo_hits"
+
+let memo_miss t n =
+  t.memo_misses <- t.memo_misses + n;
+  Obs.Metrics.incr ~by:n "valency.memo_misses"
 
 let memo_key t cfg ps v =
   { Memo_key.ck = Ckey.pack t.pk cfg; mask = Pset.to_mask ps; v = Value.to_int v }
@@ -146,10 +166,10 @@ let can_decide t cfg ps v =
   let key = memo_key t cfg ps v in
   match Memo.find_opt t.memo key with
   | Some r ->
-    t.memo_hits <- t.memo_hits + 1;
+    memo_hit t 1;
     r
   | None ->
-    t.memo_misses <- t.memo_misses + 1;
+    memo_miss t 1;
     let r = record t (search t cfg ps v) in
     Memo.replace t.memo key r;
     r
@@ -174,10 +194,10 @@ let classify t cfg ps =
     let k0 = memo_key t cfg ps zero and k1 = memo_key t cfg ps one in
     match Memo.find_opt t.memo k0, Memo.find_opt t.memo k1 with
     | Some r0, Some r1 ->
-      t.memo_hits <- t.memo_hits + 2;
+      memo_hit t 2;
       verdict_of (r0, r1)
     | None, None ->
-      t.memo_misses <- t.memo_misses + 2;
+      memo_miss t 2;
       let s0, s1 =
         Par.both (fun () -> search t cfg ps zero) (fun () -> search t cfg ps one)
       in
@@ -186,14 +206,14 @@ let classify t cfg ps =
       Memo.replace t.memo k1 r1;
       verdict_of (r0, r1)
     | Some r0, None ->
-      t.memo_hits <- t.memo_hits + 1;
-      t.memo_misses <- t.memo_misses + 1;
+      memo_hit t 1;
+      memo_miss t 1;
       let r1 = record t (search t cfg ps one) in
       Memo.replace t.memo k1 r1;
       verdict_of (r0, r1)
     | None, Some r1 ->
-      t.memo_hits <- t.memo_hits + 1;
-      t.memo_misses <- t.memo_misses + 1;
+      memo_hit t 1;
+      memo_miss t 1;
       let r0 = record t (search t cfg ps zero) in
       Memo.replace t.memo k0 r0;
       verdict_of (r0, r1)

@@ -85,4 +85,5 @@ val pp_stats : Format.formatter -> stats -> unit
 (** The two binary decision values, [Value.int 0] and [Value.int 1]. *)
 val zero : Value.t
 
+(** See {!zero}. *)
 val one : Value.t

@@ -10,6 +10,7 @@ type stats = {
 }
 
 let dot t ~inputs ~pset ~depth ~max_nodes =
+  Ts_obs.Obs.with_span ~cat:"valency" "valgraph.dot" @@ fun sp ->
   let proto = Valency.protocol t in
   let cfg0 = Config.initial proto ~inputs in
   let pk = Ckey.packer proto in
@@ -83,6 +84,8 @@ let dot t ~inputs ~pset ~depth ~max_nodes =
      done
    with Exit -> ());
   Buffer.add_string buf "}\n";
+  Ts_obs.Obs.set_int sp "nodes" !nodes;
+  Ts_obs.Obs.set_int sp "edges" !edges;
   ( Buffer.contents buf,
     {
       nodes = !nodes;

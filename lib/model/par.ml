@@ -56,7 +56,13 @@ let outcomes_array ~domains f items =
           ( token,
             Domain.spawn (fun () ->
                 Trace.begin_task token;
+                (* one span per spawned worker: the fan-out's load balance
+                   shows up as the relative lengths of these tracks *)
+                let sp = Ts_obs.Obs.enter ~cat:"par" "par.worker" in
+                Ts_obs.Obs.set_int sp "stride" (k + 1);
                 let r = worker (k + 1) () in
+                Ts_obs.Obs.set_int sp "items" (List.length r);
+                Ts_obs.Obs.close sp;
                 Trace.end_task token;
                 r) ))
     in
@@ -103,7 +109,9 @@ let both f g =
   let d =
     Domain.spawn (fun () ->
         Trace.begin_task token;
+        let sp = Ts_obs.Obs.enter ~cat:"par" "par.both" in
         let r = catch g () in
+        Ts_obs.Obs.close sp;
         Trace.end_task token;
         r)
   in

@@ -57,6 +57,7 @@ let pick tracker proto cfg policy tick =
      | _ -> invalid_arg "Sim.run: alternating processes already halted")
 
 let run ?(faults = Fault.none) proto ~inputs ~policy ~flips ~budget =
+  let sp = Ts_obs.Obs.enter ~cat:"sim" "sim.run" in
   let rng_state =
     match policy with Random rng -> Some (Rng.state rng) | _ -> None
   in
@@ -77,7 +78,13 @@ let run ?(faults = Fault.none) proto ~inputs ~policy ~flips ~budget =
       Fault.note_step tracker p;
       go cfg' ({ Execution.actor = p; action; coin_used = coin } :: acc) (steps + 1)
   in
-  let final, rev_trace, steps, ran_out = go cfg0 [] 0 in
+  let final, rev_trace, steps, ran_out =
+    try go cfg0 [] 0 with e -> Ts_obs.Obs.close sp; raise e
+  in
+  Ts_obs.Obs.set_int sp "steps" steps;
+  Ts_obs.Obs.set_bool sp "ran_out" ran_out;
+  Ts_obs.Obs.set_int sp "crashed" (List.length (Fault.crashed_pids tracker));
+  Ts_obs.Obs.close sp;
   let decisions =
     List.init proto.Protocol.num_processes (fun p ->
         Option.map (fun v -> p, v) (Config.has_decided final p))

@@ -1,81 +1,36 @@
-(* Access tracing for the race detector (see trace.mli).  One global
-   armed flag (an Atomic, so any domain can consult it without a lock)
-   and one mutex-protected event buffer: contention only matters when
-   tracing is armed, which happens in analysis runs, not hot paths. *)
+(* Facade over the unified observability collector (see trace.mli).  The
+   access log used to own its own armed flag and buffer; both now live in
+   Ts_obs.Obs so the race detector and the span profiler share one event
+   model.  Everything here is delegation plus the type equations. *)
 
-type kind =
+type kind = Ts_obs.Obs.kind =
   | Read
   | Write
 
-type event =
+type event = Ts_obs.Obs.event =
+  | Span_open of {
+      id : int;
+      parent : int;
+      domain : int;
+      name : string;
+      cat : string;
+      t : float;
+    }
+  | Span_close of { id : int; t : float; attrs : (string * Ts_obs.Obs.attr) list }
+  | Instant of { domain : int; name : string; cat : string; t : float }
   | Access of { domain : int; loc : string; kind : kind; atomic : bool }
   | Fork of { parent : int; token : int }
   | Begin of { child : int; token : int }
   | End of { child : int; token : int }
   | Join of { parent : int; token : int }
 
-let armed = Atomic.make false
-let lock = Mutex.create ()
-let events : event list ref = ref []  (* newest first; guarded by [lock] *)
-let next_token = Atomic.make 0
-let next_loc = Atomic.make 0
-
-let enabled () = Atomic.get armed
-
-let self () = (Domain.self () :> int)
-
-let push e =
-  Mutex.lock lock;
-  events := e :: !events;
-  Mutex.unlock lock
-
-let start () =
-  Mutex.lock lock;
-  events := [];
-  Mutex.unlock lock;
-  Atomic.set armed true
-
-let stop () =
-  Atomic.set armed false;
-  Mutex.lock lock;
-  let evs = !events in
-  events := [];
-  Mutex.unlock lock;
-  List.rev evs
-
-let access ~loc kind ~atomic =
-  if Atomic.get armed then push (Access { domain = self (); loc; kind; atomic })
-
-(* Tokens are allocated even when disarmed: Par threads them through its
-   workers unconditionally, and an Atomic bump is cheaper than branching
-   on armedness at every fork site. *)
-let fork () =
-  let token = Atomic.fetch_and_add next_token 1 in
-  if Atomic.get armed then push (Fork { parent = self (); token });
-  token
-
-let begin_task token =
-  if Atomic.get armed then push (Begin { child = self (); token })
-
-let end_task token =
-  if Atomic.get armed then push (End { child = self (); token })
-
-let join token =
-  if Atomic.get armed then push (Join { parent = self (); token })
-
-let fresh_loc prefix =
-  if Atomic.get armed then
-    Printf.sprintf "%s#%d" prefix (Atomic.fetch_and_add next_loc 1)
-  else prefix
-
-let pp_kind ppf = function
-  | Read -> Fmt.string ppf "read"
-  | Write -> Fmt.string ppf "write"
-
-let pp_event ppf = function
-  | Access { domain; loc; kind; atomic } ->
-    Fmt.pf ppf "d%d %a%s %s" domain pp_kind kind (if atomic then "[atomic]" else "") loc
-  | Fork { parent; token } -> Fmt.pf ppf "d%d fork t%d" parent token
-  | Begin { child; token } -> Fmt.pf ppf "d%d begin t%d" child token
-  | End { child; token } -> Fmt.pf ppf "d%d end t%d" child token
-  | Join { parent; token } -> Fmt.pf ppf "d%d join t%d" parent token
+let enabled = Ts_obs.Obs.accesses
+let start = Ts_obs.Obs.start_accesses
+let stop = Ts_obs.Obs.stop_accesses
+let access = Ts_obs.Obs.access
+let fork = Ts_obs.Obs.fork
+let begin_task = Ts_obs.Obs.begin_task
+let end_task = Ts_obs.Obs.end_task
+let join = Ts_obs.Obs.join
+let fresh_loc = Ts_obs.Obs.fresh_loc
+let pp_event = Ts_obs.Obs.pp_event

@@ -10,17 +10,40 @@
     over the log to certify the run race-free (or to pinpoint the racing
     pair).
 
+    Since the observability rework this module is a thin facade over
+    {!Ts_obs.Obs}: the access log and the profiler's span stream share one
+    event model and one buffer, so [Ts_analysis.Race] and the trace
+    exporters consume the same {!event} type.  The type equations below
+    make the two interchangeable; arming the access interest here does not
+    disturb buffered span events and vice versa.
+
     Tracing is globally off by default and costs one atomic load per
     potential event when disarmed.  It is a test/analysis harness, not a
     production profiler: events are appended to one mutex-protected
     buffer, and [start]/[stop] are not meant to run concurrently with each
     other. *)
 
-type kind =
+type kind = Ts_obs.Obs.kind =
   | Read
   | Write
 
-type event =
+(** The unified engine event stream (equal to {!Ts_obs.Obs.event}).  The
+    race detector consumes the untimed access/task constructors; the
+    span/instant constructors belong to the profiler and are ignored
+    here. *)
+type event = Ts_obs.Obs.event =
+  | Span_open of {
+      id : int;
+      parent : int;
+      domain : int;
+      name : string;
+      cat : string;
+      t : float;
+    }  (** profiler span entry — not produced by this interest *)
+  | Span_close of { id : int; t : float; attrs : (string * Ts_obs.Obs.attr) list }
+      (** profiler span exit — not produced by this interest *)
+  | Instant of { domain : int; name : string; cat : string; t : float }
+      (** profiler point event — not produced by this interest *)
   | Access of {
       domain : int;  (** id of the accessing domain *)
       loc : string;  (** interned location name, see {!fresh_loc} *)
@@ -38,10 +61,11 @@ type event =
 (** Whether tracing is currently armed. *)
 val enabled : unit -> bool
 
-(** Arm tracing and discard any previously buffered events. *)
+(** Arm tracing and discard any previously buffered access events. *)
 val start : unit -> unit
 
-(** Disarm tracing and return the buffered events, oldest first. *)
+(** Disarm tracing and return the buffered access/task events, oldest
+    first.  Span and instant events are never returned here. *)
 val stop : unit -> event list
 
 (** [access ~loc kind ~atomic] logs a shared-memory access by the calling

@@ -69,6 +69,8 @@ let step alg cfg p =
 let key cfg = Ckey.of_marshal cfg
 
 let search alg ~max_configs =
+  let sp = Ts_obs.Obs.enter ~cat:"covering" "covering_search" in
+  Ts_obs.Obs.set_str sp "algorithm" alg.Algorithm.name;
   let n = alg.Algorithm.num_processes in
   let visited = Ckey.Tbl.create 4096 in
   let q = Queue.create () in
@@ -100,6 +102,9 @@ let search alg ~max_configs =
           end
       done
   done;
+  Ts_obs.Obs.set_int sp "configs" !explored;
+  Ts_obs.Obs.set_int sp "best_covered" !best;
+  Ts_obs.Obs.close sp;
   {
     algorithm = alg.Algorithm.name;
     n;

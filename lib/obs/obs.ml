@@ -1,0 +1,310 @@
+(* The global observability collector (see obs.mli).  One atomic interest
+   mask — bit 0 spans, bit 1 metrics, bit 2 accesses — consulted lock-free
+   on every instrumentation point, and one mutex-protected event buffer
+   shared by the profiler and the race detector.  Contention only matters
+   while an interest is armed (analysis runs, `tightspace trace`), never
+   on hot paths. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+
+type kind =
+  | Read
+  | Write
+
+type event =
+  | Span_open of {
+      id : int;
+      parent : int;
+      domain : int;
+      name : string;
+      cat : string;
+      t : float;
+    }
+  | Span_close of { id : int; t : float; attrs : (string * attr) list }
+  | Instant of { domain : int; name : string; cat : string; t : float }
+  | Access of { domain : int; loc : string; kind : kind; atomic : bool }
+  | Fork of { parent : int; token : int }
+  | Begin of { child : int; token : int }
+  | End of { child : int; token : int }
+  | Join of { parent : int; token : int }
+
+(* --- the shared buffer ------------------------------------------------- *)
+
+let spans_bit = 1
+let metrics_bit = 2
+let access_bit = 4
+let mask = Atomic.make 0
+let armed bit = Atomic.get mask land bit <> 0
+let lock = Mutex.create ()
+let events : event list ref = ref [] (* newest first; guarded by [lock] *)
+let next_span = Atomic.make 0
+let next_token = Atomic.make 0
+let next_loc = Atomic.make 0
+
+let self () = (Domain.self () :> int)
+let now () = Unix.gettimeofday ()
+
+let push e =
+  Mutex.lock lock;
+  events := e :: !events;
+  Mutex.unlock lock
+
+let is_access_event = function
+  | Access _ | Fork _ | Begin _ | End _ | Join _ -> true
+  | Span_open _ | Span_close _ | Instant _ -> false
+
+(* Drop this interest's stale events, then arm.  The other interest's
+   buffered events survive: draining one stream never clobbers the
+   other. *)
+let start_interest bit keep =
+  Mutex.lock lock;
+  events := List.filter keep !events;
+  Atomic.set mask (Atomic.get mask lor bit);
+  Mutex.unlock lock
+
+(* Disarm, then split the buffer: return this interest's events (oldest
+   first), keep the rest buffered. *)
+let stop_interest bit mine =
+  Mutex.lock lock;
+  Atomic.set mask (Atomic.get mask land lnot bit);
+  let ours, theirs = List.partition mine !events in
+  events := theirs;
+  Mutex.unlock lock;
+  List.rev ours
+
+(* --- spans ------------------------------------------------------------- *)
+
+type span = {
+  id : int; (* -1 = the inert null span *)
+  mutable attrs : (string * attr) list;
+}
+
+let null_span = { id = -1; attrs = [] }
+let tracing () = armed spans_bit
+let start_tracing () = start_interest spans_bit is_access_event
+let stop_tracing () = stop_interest spans_bit (fun e -> not (is_access_event e))
+
+(* The implicit parent stack is domain-local, so concurrent workers each
+   nest their own spans. *)
+let stack_key : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let enter ?(cat = "engine") name =
+  if not (tracing ()) then null_span
+  else begin
+    let id = Atomic.fetch_and_add next_span 1 in
+    let st = Domain.DLS.get stack_key in
+    let parent = match !st with [] -> -1 | p :: _ -> p in
+    st := id :: !st;
+    push (Span_open { id; parent; domain = self (); name; cat; t = now () });
+    { id; attrs = [] }
+  end
+
+let close sp =
+  if sp.id >= 0 then begin
+    let st = Domain.DLS.get stack_key in
+    (match !st with
+     | top :: rest when top = sp.id -> st := rest
+     | l -> st := List.filter (fun i -> i <> sp.id) l);
+    if tracing () then
+      push (Span_close { id = sp.id; t = now (); attrs = List.rev sp.attrs })
+  end
+
+let with_span ?cat name f =
+  let sp = enter ?cat name in
+  match f sp with
+  | v ->
+    close sp;
+    v
+  | exception e ->
+    close sp;
+    raise e
+
+let set_attr sp k v = if sp.id >= 0 then sp.attrs <- (k, v) :: sp.attrs
+let set_int sp k v = if sp.id >= 0 then set_attr sp k (Int v)
+let set_bool sp k v = if sp.id >= 0 then set_attr sp k (Bool v)
+let set_str sp k v = if sp.id >= 0 then set_attr sp k (Str v)
+
+let instant ?(cat = "engine") name =
+  if tracing () then push (Instant { domain = self (); name; cat; t = now () })
+
+(* --- metrics ----------------------------------------------------------- *)
+
+module Metrics = struct
+  type histo = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+  }
+
+  type snapshot = {
+    counters : (string * int) list;
+    gauges : (string * int) list;
+    histograms : (string * histo) list;
+  }
+
+  (* The registry shares the event-buffer mutex: recording is rare enough
+     (end-of-search, end-of-span) that one lock keeps the story simple. *)
+  let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+  let gauges : (string, int ref) Hashtbl.t = Hashtbl.create 16
+  let histograms : (string, histo ref) Hashtbl.t = Hashtbl.create 16
+  let armed () = armed metrics_bit
+
+  let clear () =
+    Hashtbl.reset counters;
+    Hashtbl.reset gauges;
+    Hashtbl.reset histograms
+
+  let start () =
+    Mutex.lock lock;
+    clear ();
+    Atomic.set mask (Atomic.get mask lor metrics_bit);
+    Mutex.unlock lock
+
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let snapshot_locked () =
+    { counters = sorted counters; gauges = sorted gauges; histograms = sorted histograms }
+
+  let snapshot () =
+    Mutex.lock lock;
+    let s = snapshot_locked () in
+    Mutex.unlock lock;
+    s
+
+  let stop () =
+    Mutex.lock lock;
+    Atomic.set mask (Atomic.get mask land lnot metrics_bit);
+    let s = snapshot_locked () in
+    clear ();
+    Mutex.unlock lock;
+    s
+
+  let cell tbl name zero =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref zero in
+      Hashtbl.replace tbl name r;
+      r
+
+  let incr ?(by = 1) name =
+    if armed () then begin
+      Mutex.lock lock;
+      let r = cell counters name 0 in
+      r := !r + by;
+      Mutex.unlock lock
+    end
+
+  let gauge name v =
+    if armed () then begin
+      Mutex.lock lock;
+      let r = cell gauges name v in
+      r := v;
+      Mutex.unlock lock
+    end
+
+  let gauge_max name v =
+    if armed () then begin
+      Mutex.lock lock;
+      let r = cell gauges name v in
+      if v > !r then r := v;
+      Mutex.unlock lock
+    end
+
+  let observe_ms name v =
+    if armed () then begin
+      Mutex.lock lock;
+      (match Hashtbl.find_opt histograms name with
+       | Some r ->
+         let h = !r in
+         r :=
+           {
+             count = h.count + 1;
+             sum = h.sum +. v;
+             min = Float.min h.min v;
+             max = Float.max h.max v;
+           }
+       | None ->
+         Hashtbl.replace histograms name
+           (ref { count = 1; sum = v; min = v; max = v }));
+      Mutex.unlock lock
+    end
+
+  let pp_snapshot ppf s =
+    let sec title = Fmt.pf ppf "@,%s:" title in
+    Fmt.pf ppf "@[<v>";
+    if s.counters <> [] then begin
+      sec "counters";
+      List.iter (fun (k, v) -> Fmt.pf ppf "@,  %-36s %12d" k v) s.counters
+    end;
+    if s.gauges <> [] then begin
+      sec "gauges";
+      List.iter (fun (k, v) -> Fmt.pf ppf "@,  %-36s %12d" k v) s.gauges
+    end;
+    if s.histograms <> [] then begin
+      sec "histograms (ms)";
+      List.iter
+        (fun (k, h) ->
+          Fmt.pf ppf "@,  %-36s n=%d sum=%.2f min=%.3f max=%.3f" k h.count h.sum
+            h.min h.max)
+        s.histograms
+    end;
+    Fmt.pf ppf "@]"
+end
+
+(* --- memory-access log ------------------------------------------------- *)
+
+let accesses () = armed access_bit
+let start_accesses () = start_interest access_bit (fun e -> not (is_access_event e))
+let stop_accesses () = stop_interest access_bit is_access_event
+
+let access ~loc kind ~atomic =
+  if accesses () then push (Access { domain = self (); loc; kind; atomic })
+
+let fork () =
+  let token = Atomic.fetch_and_add next_token 1 in
+  if accesses () then push (Fork { parent = self (); token });
+  token
+
+let begin_task token = if accesses () then push (Begin { child = self (); token })
+let end_task token = if accesses () then push (End { child = self (); token })
+let join token = if accesses () then push (Join { parent = self (); token })
+
+let fresh_loc prefix =
+  if accesses () then Printf.sprintf "%s#%d" prefix (Atomic.fetch_and_add next_loc 1)
+  else prefix
+
+(* --- printing ---------------------------------------------------------- *)
+
+let pp_kind ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+let pp_attr ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.string ppf s
+
+let pp_event ppf = function
+  | Span_open { id; parent; domain; name; cat; t = _ } ->
+    Fmt.pf ppf "d%d open s%d<-s%d %s [%s]" domain id parent name cat
+  | Span_close { id; attrs; t = _ } ->
+    Fmt.pf ppf "close s%d%a" id
+      Fmt.(
+        list ~sep:nop (fun ppf (k, v) -> Fmt.pf ppf " %s=%a" k pp_attr v))
+      attrs
+  | Instant { domain; name; cat; t = _ } -> Fmt.pf ppf "d%d instant [%s] %s" domain cat name
+  | Access { domain; loc; kind; atomic } ->
+    Fmt.pf ppf "d%d %a%s %s" domain pp_kind kind (if atomic then "[atomic]" else "") loc
+  | Fork { parent; token } -> Fmt.pf ppf "d%d fork t%d" parent token
+  | Begin { child; token } -> Fmt.pf ppf "d%d begin t%d" child token
+  | End { child; token } -> Fmt.pf ppf "d%d end t%d" child token
+  | Join { parent; token } -> Fmt.pf ppf "d%d join t%d" parent token

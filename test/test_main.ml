@@ -22,4 +22,5 @@ let () =
       Suite_fault.suite;
       Suite_runtime.suite;
       Suite_analysis.suite;
+      Suite_obs.suite;
     ]
