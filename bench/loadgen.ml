@@ -1,0 +1,185 @@
+(* Load generator for the ts_service daemon (experiment E21).
+
+   Starts an in-process server on an ephemeral port, then drives it over
+   real TCP from several client domains with a fixed mix of witness /
+   check / valency queries:
+
+     cold phase   every distinct query once, cache empty — each answer is
+                  a fresh engine run
+     warm phase   the same queries repeated round-robin from [clients]
+                  concurrent connections — after the first pass every
+                  answer is a cache hit
+
+   Reported per phase: request throughput and the p50/p99/max latency of
+   the request round trip, plus the cold/warm speedup on the matched
+   query mix.  --json FILE writes the numbers (and the armed engine
+   metrics, including cache hit/miss counters) for BENCH_PR5.json. *)
+
+module Json = Ts_analysis.Json
+module Server = Ts_service.Server
+module Client = Ts_service.Client
+module Request = Ts_service.Request
+
+let queries =
+  let base = Request.defaults in
+  [
+    { base with Request.op = Request.Witness; protocol = "racing"; n = 2 };
+    { base with Request.op = Request.Witness; protocol = "racing"; n = 3 };
+    { base with Request.op = Request.Witness; protocol = "swap"; n = 2 };
+    { base with Request.op = Request.Check; protocol = "broken-lww"; n = 2 };
+    { base with Request.op = Request.Check; protocol = "broken-max"; n = 2 };
+    { base with Request.op = Request.Check; protocol = "racing"; n = 2;
+                max_configs = 20_000 };
+    { base with Request.op = Request.Valency; protocol = "racing"; n = 2 };
+    { base with Request.op = Request.Valency; protocol = "racing"; n = 3 };
+  ]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (float_of_int (n - 1) *. p +. 0.5)))
+
+type phase_stats = {
+  requests : int;
+  elapsed : float;
+  p50 : float;  (* milliseconds *)
+  p99 : float;
+  max : float;
+}
+
+let phase_stats latencies elapsed =
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  {
+    requests = Array.length sorted;
+    elapsed;
+    p50 = percentile sorted 0.5;
+    p99 = percentile sorted 0.99;
+    max = (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1));
+  }
+
+let throughput s = float_of_int s.requests /. s.elapsed
+
+let pp_phase name s =
+  Format.printf
+    "  %-6s %5d requests in %6.2fs  (%7.1f req/s)  p50 %8.3fms  p99 %8.3fms  max %8.3fms@."
+    name s.requests s.elapsed (throughput s) s.p50 s.p99 s.max
+
+(* One timed request over an open connection; the response must be ok. *)
+let timed_rpc conn req =
+  let t0 = Unix.gettimeofday () in
+  match Client.rpc conn (Request.to_json req) with
+  | Error msg -> failwith ("loadgen: rpc failed: " ^ msg)
+  | Ok doc ->
+    (match Json.member "ok" doc with
+     | Some (Json.Bool true) -> ()
+     | _ -> failwith ("loadgen: error response: " ^ Json.to_string doc));
+    (Unix.gettimeofday () -. t0) *. 1000.
+
+let run_cold port =
+  let conn = Client.connect ~port () in
+  let t0 = Unix.gettimeofday () in
+  let lats = List.map (fun q -> timed_rpc conn q) queries in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Client.close conn;
+  phase_stats lats elapsed
+
+(* [clients] domains, each its own TCP connection, each sending
+   [rounds] passes over the query mix. *)
+let run_warm port ~clients ~rounds =
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    Array.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            let conn = Client.connect ~port () in
+            let lats = ref [] in
+            for _ = 1 to rounds do
+              List.iter (fun q -> lats := timed_rpc conn q :: !lats) queries
+            done;
+            Client.close conn;
+            !lats))
+  in
+  let lats = Array.to_list workers |> List.concat_map Domain.join in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  phase_stats lats elapsed
+
+let write_json file ~cold ~warm ~speedup ~cache metrics =
+  let phase s =
+    Json.Obj
+      [
+        ("requests", Json.Int s.requests);
+        ("elapsed_s", Json.Float s.elapsed);
+        ("throughput_rps", Json.Float (throughput s));
+        ("p50_ms", Json.Float s.p50);
+        ("p99_ms", Json.Float s.p99);
+        ("max_ms", Json.Float s.max);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "tightspace-loadgen");
+        ("experiment", Json.Str "E21 cold vs warm service throughput");
+        ("query_mix", Json.Int (List.length queries));
+        ("cold", phase cold);
+        ("warm", phase warm);
+        ("speedup_p50", Json.Float speedup);
+        ("cache",
+         Json.Obj
+           [
+             ("hits", Json.Int cache.Ts_core.Cache.hits);
+             ("misses", Json.Int cache.Ts_core.Cache.misses);
+             ("evictions", Json.Int cache.Ts_core.Cache.evictions);
+             ("entries", Json.Int cache.Ts_core.Cache.entries);
+           ]);
+      ]
+  in
+  let oc = open_out file in
+  (* metrics_json is a raw blob; splice it under the bench files' usual
+     versioned key rather than re-parsing it *)
+  let body = Json.to_string_pretty doc in
+  let body = String.sub body 0 (String.length body - 2) in
+  Printf.fprintf oc "%s,\n  \"metrics_v\": %s\n}\n" body
+    (Ts_obs.Export.metrics_json metrics);
+  close_out oc;
+  Format.printf "wrote %s@." file
+
+let () =
+  let json_file = ref None in
+  let clients = ref 4 in
+  let rounds = ref 25 in
+  Arg.parse
+    [
+      ("--json", Arg.String (fun f -> json_file := Some f), "FILE write results JSON");
+      ("--clients", Arg.Set_int clients, "N concurrent client domains (default 4)");
+      ("--rounds", Arg.Set_int rounds, "N warm passes per client (default 25)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "loadgen [--json FILE] [--clients N] [--rounds N]";
+  Ts_obs.Obs.Metrics.start ();
+  let server =
+    Server.start { Server.default_config with port = 0; workers = !clients }
+  in
+  let port = Server.port server in
+  Format.printf "loadgen: daemon on 127.0.0.1:%d, %d queries in the mix@." port
+    (List.length queries);
+  let cold = run_cold port in
+  pp_phase "cold" cold;
+  let warm = run_warm port ~clients:!clients ~rounds:!rounds in
+  pp_phase "warm" warm;
+  let speedup = cold.p50 /. (if warm.p50 > 0. then warm.p50 else epsilon_float) in
+  let cache = Ts_service.Dispatch.cache_stats (Server.dispatcher server) in
+  Format.printf
+    "  speedup (cold p50 / warm p50): %.0fx;  cache: %d hits, %d misses, %d entries@."
+    speedup cache.Ts_core.Cache.hits cache.Ts_core.Cache.misses
+    cache.Ts_core.Cache.entries;
+  Server.stop server;
+  let metrics = Ts_obs.Obs.Metrics.stop () in
+  (match !json_file with
+   | Some f -> write_json f ~cold ~warm ~speedup ~cache metrics
+   | None -> ());
+  (* the tentpole's acceptance bar: repeated queries must be >= 5x faster *)
+  if speedup < 5. then begin
+    Format.printf "FAIL: warm-cache speedup %.1fx below the 5x bar@." speedup;
+    exit 1
+  end

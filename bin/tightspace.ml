@@ -20,25 +20,17 @@ let n_arg =
 let seed_arg =
   Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+(* Name resolution is delegated to the catalog so the CLI, the analysis
+   registry and the serve daemon agree on what every name means. *)
 let protocol_of_name name n =
-  match name with
-  | "racing" -> Ok (Protocol.Packed (Racing.make ~n))
-  | "racing-rand" -> Ok (Protocol.Packed (Racing.make_randomized ~n))
-  | "broken-lww" -> Ok (Protocol.Packed (Broken.last_write_wins ~n))
-  | "broken-max" -> Ok (Protocol.Packed (Broken.naive_max ~n))
-  | "broken-const" -> Ok (Protocol.Packed (Broken.oblivious_seven ~n))
-  | "broken-spin" -> Ok (Protocol.Packed (Broken.insomniac ~n))
-  | "broken-wait" -> Ok (Protocol.Packed (Broken.wait_for_all ~n))
-  | "swap" ->
-    if n = 2 then Ok (Protocol.Packed (Swap_consensus.two_process ()))
-    else Error (`Msg "swap consensus exists only for n = 2")
-  | "swap-chain" -> Ok (Protocol.Packed (Swap_consensus.naive_chain ~n))
-  | _ -> Error (`Msg ("unknown protocol: " ^ name))
+  match Catalog.find name ~n with
+  | Ok p -> Ok p
+  | Error m -> Error (`Msg m)
 
 let protocol_arg =
   Arg.(value & opt string "racing"
        & info [ "protocol" ] ~docv:"NAME"
-           ~doc:"Protocol: racing, racing-rand, swap, swap-chain, broken-lww, broken-max, broken-const, broken-spin, broken-wait.")
+           ~doc:("Protocol: " ^ Catalog.names_doc () ^ "."))
 
 (* Resource-guard flags shared by the search subcommands. *)
 let deadline_arg =
@@ -76,8 +68,30 @@ let with_metrics enabled f =
           (Obs.Metrics.stop ()))
   end
 
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit the machine-readable JSON document (the same \
+                 serialization the serve daemon answers with) instead of \
+                 human-readable text.")
+
+let pr_json doc = print_endline (Ts_analysis.Json.to_string_pretty doc)
+
+(* Long-running subcommands install this so an interrupt still yields the
+   partial observability output the run accumulated.  [Fun.protect]
+   finalizers do not run through [exit], so the flush lives in the handler
+   itself. *)
+let install_flush_handler ?flush () =
+  Ts_service.Signals.install ~exit_after:true ~on_signal:(fun signo ->
+      Format.eprintf "@.interrupted (%s); flushing partial output.@."
+        (if signo = Sys.sigint then "SIGINT" else "SIGTERM");
+      (match flush with Some f -> f () | None -> ());
+      if Obs.Metrics.armed () then
+        Format.eprintf "engine metrics (partial):@.%a@." Obs.Metrics.pp_snapshot
+          (Obs.Metrics.snapshot ()))
+
 (* witness *)
-let witness n horizon protocol diagram deadline max_nodes metrics =
+let witness n horizon protocol diagram deadline max_nodes metrics json =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
@@ -93,22 +107,41 @@ let witness n horizon protocol diagram deadline max_nodes metrics =
     in
     (match outcome with
      | Theorem.Complete cert ->
-       Format.printf "%a@.(oracle horizon: %d)@." Theorem.pp_certificate cert used;
-       if diagram then
-         Format.printf "@.%s@." (Diagram.render ~n cert.Theorem.trace);
-       (match Theorem.verify cert proto with
-        | Ok () -> Format.printf "independent replay: verified.@."; 0
-        | Error e -> Format.printf "replay FAILED: %s@." e; 1)
+       let verified = Theorem.verify cert proto in
+       if json then
+         pr_json
+           (Ts_service.Response.witness_to_json ~horizon_used:used ~verified
+              cert)
+       else begin
+         Format.printf "%a@.(oracle horizon: %d)@." Theorem.pp_certificate cert used;
+         if diagram then
+           Format.printf "@.%s@." (Diagram.render ~n cert.Theorem.trace);
+         match verified with
+         | Ok () -> Format.printf "independent replay: verified.@."
+         | Error e -> Format.printf "replay FAILED: %s@." e
+       end;
+       (match verified with Ok () -> 0 | Error _ -> 1)
      | Theorem.Partial (stop, progress) ->
-       Format.printf "partial result: %a@.progress: %a@." Theorem.pp_stop stop
-         Theorem.pp_progress progress;
-       (match stop with
-        | Theorem.Horizon_wall _ ->
-          Format.printf "hint: raise --horizon beyond %d (or drop it to escalate automatically).@." used
-        | Theorem.Out_of_budget _ ->
-          Format.printf "hint: raise --deadline / --max-nodes and rerun.@.");
+       if json then
+         pr_json
+           (Ts_service.Response.witness_partial_to_json ~horizon_used:used stop
+              progress)
+       else begin
+         Format.printf "partial result: %a@.progress: %a@." Theorem.pp_stop stop
+           Theorem.pp_progress progress;
+         match stop with
+         | Theorem.Horizon_wall _ ->
+           Format.printf "hint: raise --horizon beyond %d (or drop it to escalate automatically).@." used
+         | Theorem.Out_of_budget _ ->
+           Format.printf "hint: raise --deadline / --max-nodes and rerun.@."
+       end;
        2
-     | exception Failure msg -> Format.printf "construction failed: %s@." msg; 1)
+     | exception Failure msg ->
+       if json then
+         pr_json
+           (Ts_service.Response.error ~id:None ~code:"construction-failed" msg)
+       else Format.printf "construction failed: %s@." msg;
+       1)
 
 let horizon_arg =
   Arg.(value & opt (some int) None & info [ "horizon" ] ~docv:"H"
@@ -120,29 +153,44 @@ let witness_cmd =
   in
   Cmd.v (Cmd.info "witness" ~doc:"Run the Zhu Theorem-1 adversary")
     Term.(const witness $ n_arg $ horizon_arg $ protocol_arg $ diagram
-          $ deadline_arg $ max_nodes_arg $ metrics_arg)
+          $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg)
 
-(* check: shared result reporting for the exploration subcommands *)
-let report_explore r =
+(* check: shared result reporting for the exploration subcommands.
+
+   Exit codes (documented in the README table): 0 clean, 1 violation or
+   worker error, 2 partial (budget tripped with no violation found — the
+   verdict is evidence, not a proof, so scripts must be able to tell). *)
+let explore_exit r =
   let open Ts_checker.Explore in
-  List.iter
-    (fun (idx, msg) ->
-      Format.printf "worker error on input vector %d: %s@." idx msg)
-    r.worker_errors;
-  (match r.stopped with
-   | Some b ->
-     Format.printf "budget tripped (%a): verdict below is partial; raise --deadline / --max-nodes.@."
-       Budget.pp_breach b
-   | None -> ());
   match r.verdict with
+  | Error _ -> 1
   | Ok () ->
-    let s = r.stats in
-    Format.printf "clean: %d configurations explored (truncated: %b, deepest: %d)@."
-      s.configs_explored s.truncated s.deepest;
-    if r.worker_errors <> [] then 1 else 0
-  | Error v ->
-    Format.printf "VIOLATION: %a@." pp_violation v;
-    1
+    if r.worker_errors <> [] then 1 else if r.stopped <> None then 2 else 0
+
+let report_explore ?(json = false) ?replay r =
+  let replay_result = replay in
+  (* the open below shadows [replay] with Explore's replay function *)
+  let open Ts_checker.Explore in
+  if json then
+    pr_json (Ts_service.Response.explore_to_json ?replay:replay_result r)
+  else begin
+    List.iter
+      (fun (idx, msg) ->
+        Format.printf "worker error on input vector %d: %s@." idx msg)
+      r.worker_errors;
+    (match r.stopped with
+     | Some b ->
+       Format.printf "budget tripped (%a): verdict below is partial; raise --deadline / --max-nodes.@."
+         Budget.pp_breach b
+     | None -> ());
+    match r.verdict with
+    | Ok () ->
+      let s = r.stats in
+      Format.printf "clean: %d configurations explored (truncated: %b, deepest: %d)@."
+        s.configs_explored s.truncated s.deepest
+    | Error v -> Format.printf "VIOLATION: %a@." pp_violation v
+  end;
+  explore_exit r
 
 let max_configs_arg =
   Arg.(value & opt int 60_000 & info [ "max-configs" ] ~doc:"Exploration cap.")
@@ -154,12 +202,13 @@ let domains_arg =
   Arg.(value & opt int 1
        & info [ "domains" ] ~docv:"D" ~doc:"Check input vectors on D domains.")
 
-let check n protocol max_configs max_depth domains deadline max_nodes metrics =
+let check n protocol max_configs max_depth domains deadline max_nodes metrics json =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
+    install_flush_handler ();
     with_metrics metrics @@ fun () ->
-    report_explore
+    report_explore ~json
       (Ts_checker.Explore.check_consensus proto ~domains
          ~budget:(budget_of ?deadline ?max_nodes ())
          ~inputs_list:(Ts_checker.Explore.binary_inputs n) ~max_configs ~max_depth
@@ -168,13 +217,14 @@ let check n protocol max_configs max_depth domains deadline max_nodes metrics =
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Bounded model-check a protocol")
     Term.(const check $ n_arg $ protocol_arg $ max_configs_arg $ max_depth_arg
-          $ domains_arg $ deadline_arg $ max_nodes_arg $ metrics_arg)
+          $ domains_arg $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg)
 
 (* resilient *)
-let resilient n t protocol max_configs max_depth domains deadline max_nodes metrics =
+let resilient n t protocol max_configs max_depth domains deadline max_nodes metrics json =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
+    install_flush_handler ();
     with_metrics metrics @@ fun () ->
     let r =
       Ts_checker.Explore.check_t_resilient proto ~domains ~t
@@ -182,14 +232,19 @@ let resilient n t protocol max_configs max_depth domains deadline max_nodes metr
         ~inputs_list:(Ts_checker.Explore.binary_inputs n) ~max_configs ~max_depth
         ~solo_budget:300
     in
-    (match r.Ts_checker.Explore.verdict with
-     | Error v ->
-       (* a resilience witness must survive an independent replay *)
-       (match Ts_checker.Explore.replay proto v with
-        | Ok () -> Format.printf "witness replayed independently: confirmed.@."
-        | Error e -> Format.printf "witness replay FAILED: %s@." e)
-     | Ok () -> ());
-    report_explore r
+    let replay =
+      match r.Ts_checker.Explore.verdict with
+      (* a resilience witness must survive an independent replay *)
+      | Error v -> Some (Ts_checker.Explore.replay proto v)
+      | Ok () -> None
+    in
+    (match replay with
+     | Some (Ok ()) when not json ->
+       Format.printf "witness replayed independently: confirmed.@."
+     | Some (Error e) when not json ->
+       Format.printf "witness replay FAILED: %s@." e
+     | _ -> ());
+    report_explore ~json ?replay r
 
 let resilient_cmd =
   let t =
@@ -201,7 +256,7 @@ let resilient_cmd =
        ~doc:"Check t-resilient termination under crash-stop faults")
     Term.(const resilient $ n_arg $ t $ protocol_arg $ max_configs_arg
           $ max_depth_arg $ domains_arg $ deadline_arg $ max_nodes_arg
-          $ metrics_arg)
+          $ metrics_arg $ json_arg)
 
 (* jtt *)
 let jtt n obj =
@@ -414,6 +469,18 @@ let trace_run n horizon protocol out metrics deadline max_nodes =
     let budget = budget_of ?deadline ?max_nodes () in
     Obs.start_tracing ();
     if metrics then Obs.Metrics.start ();
+    (* an interrupted trace run still writes the spans gathered so far —
+       a partial trace of a stuck search is the most useful trace of all *)
+    install_flush_handler ()
+      ~flush:(fun () ->
+        if Obs.tracing () then begin
+          let events = Obs.stop_tracing () in
+          let oc = open_out out in
+          output_string oc (Obs_export.chrome_trace events);
+          close_out oc;
+          Format.eprintf "wrote partial trace to %s (%d events).@." out
+            (List.length events)
+        end);
     (* Capture construction failures so a failed run still exports the
        spans recorded up to the failure point. *)
     let outcome =
@@ -524,6 +591,190 @@ let cover_cmd =
   Cmd.v (Cmd.info "cover" ~doc:"Search a lock's state space for covering configurations (BL93)")
     Term.(const cover $ n_arg $ alg $ budget)
 
+(* serve *)
+module Server = Ts_service.Server
+
+let serve host port workers queue_cap cache_capacity cache_shards deadline
+    max_nodes verbose =
+  let config =
+    {
+      Server.host;
+      port;
+      workers;
+      queue_cap;
+      cache_capacity;
+      cache_shards;
+      request_deadline = deadline;
+      max_nodes;
+      verbose;
+    }
+  in
+  match Server.start config with
+  | exception Unix.Unix_error (err, _, _) ->
+    Format.eprintf "serve: cannot listen on %s:%d: %s@." host port
+      (Unix.error_message err);
+    1
+  | server ->
+    (* machine-parseable: the CI smoke and the load generator scrape this *)
+    Printf.printf "tightspace serve: listening on %s:%d (%d workers, queue %d, cache %d)\n%!"
+      host (Server.port server) workers queue_cap cache_capacity;
+    Ts_service.Signals.install ~exit_after:false ~on_signal:(fun signo ->
+        Printf.eprintf "tightspace serve: %s received; draining...\n%!"
+          (if signo = Sys.sigint then "SIGINT" else "SIGTERM");
+        Server.request_stop server);
+    (* idle in interruptible sleeps rather than blocking in a join, so the
+       signal handler gets its safe point promptly *)
+    let rec idle () =
+      if not (Server.stopping server) then begin
+        (try Unix.sleepf 0.2
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        idle ()
+      end
+    in
+    idle ();
+    Server.wait server;
+    Format.printf "%a@." Server.pp_summary (Server.summary server);
+    0
+
+let serve_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(value & opt int 7433
+         & info [ "port" ] ~docv:"PORT" ~doc:"TCP port; 0 picks an ephemeral one.")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"W"
+             ~doc:"Worker domains (max concurrent connections).")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"Q"
+             ~doc:"Accepted-connection queue bound; beyond it new connections \
+                   are refused with an overloaded error (backpressure).")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 4096
+         & info [ "cache-capacity" ] ~docv:"C" ~doc:"Result-cache entries.")
+  in
+  let cache_shards =
+    Arg.(value & opt int 8
+         & info [ "cache-shards" ] ~docv:"S" ~doc:"Result-cache LRU shards.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) (Some 30.)
+         & info [ "deadline" ] ~docv:"SECS"
+             ~doc:"Default per-request wall-clock budget (requests may carry \
+                   their own).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log per-connection events.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the adversary-query daemon: framed JSON over TCP, worker-pool \
+             scheduling, sharded LRU result cache")
+    Term.(const serve $ host $ port $ workers $ queue_cap $ cache_capacity
+          $ cache_shards $ deadline $ max_nodes_arg $ verbose)
+
+(* query *)
+let query host port opname protocol n horizon seed max_configs max_depth
+    solo_budget t_faults deadline max_nodes id raw =
+  let module C = Ts_service.Client in
+  match raw with
+  | Some bytes -> (
+    (* deliberately unframed bytes: the probe succeeds when the daemon
+       answers with a well-formed error document instead of dying *)
+    match C.connect ~host ~port () with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "query: cannot reach %s:%d: %s\n" host port
+        (Unix.error_message err);
+      1
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> C.close c)
+        (fun () ->
+          C.send_raw c bytes;
+          match C.recv c with
+          | Ok doc -> pr_json doc; 0
+          | Error msg -> Printf.eprintf "query: %s\n" msg; 1))
+  | None -> (
+    match Ts_service.Request.op_of_string opname with
+    | None ->
+      Printf.eprintf "query: unknown op %s (witness, check, resilient, valency, analyze, ping, stats)\n"
+        opname;
+      2
+    | Some op ->
+      let req =
+        {
+          Ts_service.Request.defaults with
+          id;
+          op;
+          protocol;
+          n;
+          horizon;
+          seed;
+          max_configs;
+          max_depth;
+          solo_budget;
+          t_faults;
+          deadline;
+          max_nodes;
+        }
+      in
+      (match C.request ~host ~port (Ts_service.Request.to_json req) with
+       | exception Unix.Unix_error (err, _, _) ->
+         Printf.eprintf "query: cannot reach %s:%d: %s\n" host port
+           (Unix.error_message err);
+         1
+       | Error msg -> Printf.eprintf "query: %s\n" msg; 1
+       | Ok doc ->
+         pr_json doc;
+         (match Ts_analysis.Json.member "ok" doc with
+          | Some (Ts_analysis.Json.Bool true) -> 0
+          | _ -> 1)))
+
+let query_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port =
+    Arg.(value & opt int 7433 & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let op =
+    Arg.(value & pos 0 string "ping"
+         & info [] ~docv:"OP"
+             ~doc:"Operation: witness, check, resilient, valency, analyze, \
+                   ping or stats.")
+  in
+  let solo_budget =
+    Arg.(value & opt int 300 & info [ "solo-budget" ] ~doc:"Solo-run step cap.")
+  in
+  let t_faults =
+    Arg.(value & opt int 1
+         & info [ "t" ] ~docv:"T" ~doc:"Crash-fault tolerance for resilient.")
+  in
+  let id =
+    Arg.(value & opt int 0 & info [ "id" ] ~docv:"ID" ~doc:"Correlation id echoed by the daemon.")
+  in
+  let raw =
+    Arg.(value & opt (some string) None
+         & info [ "raw" ] ~docv:"BYTES"
+             ~doc:"Send BYTES verbatim (no framing) and print the daemon's \
+                   error response — the malformed-input probe.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running serve daemon and print the \
+             response document")
+    Term.(const query $ host $ port $ op $ protocol_arg $ n_arg $ horizon_arg
+          $ seed_arg $ max_configs_arg $ max_depth_arg $ solo_budget $ t_faults
+          $ deadline_arg $ max_nodes_arg $ id $ raw)
+
 let () =
   let doc = "executable reproduction of 'A Tight Space Bound for Consensus'" in
   let info = Cmd.info "tightspace" ~version:"1.0.0" ~doc in
@@ -537,7 +788,7 @@ let () =
            [
              witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
              encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
-             dot_cmd; cover_cmd; analyze_cmd; trace_cmd;
+             dot_cmd; cover_cmd; analyze_cmd; trace_cmd; serve_cmd; query_cmd;
            ])
     with
     | Valency.Horizon_exceeded msg ->

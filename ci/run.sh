@@ -77,4 +77,49 @@ if timeout 300 dune exec bin/tightspace.exe -- analyze --protocol broken-lww \
 fi
 timeout 300 dune exec bin/tightspace.exe -- analyze --protocol racing > /dev/null
 
+echo "== serve smoke (daemon + mixed batch + cache hit + drain; 5 min cap) =="
+# the daemon must start on an ephemeral port, answer a mixed batch
+# (including one deliberately malformed frame), serve the repeated query
+# from cache, and drain cleanly on SIGTERM — all the E21 plumbing
+TS=_build/default/bin/tightspace.exe
+"$TS" serve --port 0 --workers 2 > /tmp/serve.out 2>&1 &
+SERVE_PID=$!
+PORT=""
+i=0
+while [ -z "$PORT" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "ci: serve did not announce a port" >&2; cat /tmp/serve.out >&2
+    kill "$SERVE_PID" 2> /dev/null || true; exit 1
+  fi
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' /tmp/serve.out)
+  [ -n "$PORT" ] || sleep 0.2
+done
+timeout 60 "$TS" query ping --port "$PORT" > /tmp/q-ping.json
+grep -q '"pong": true' /tmp/q-ping.json
+timeout 300 "$TS" query witness --port "$PORT" --protocol racing -n 2 > /tmp/q-cold.json
+grep -q '"provenance": "fresh"' /tmp/q-cold.json
+# the repeat must come back from the cache
+timeout 60 "$TS" query witness --port "$PORT" --protocol racing -n 2 > /tmp/q-warm.json
+grep -q '"provenance": "cached"' /tmp/q-warm.json
+# a malformed frame gets a typed error answer and must not kill the daemon
+timeout 60 "$TS" query ping --port "$PORT" --raw 'garbage#frame' > /tmp/q-raw.json
+grep -q '"bad-frame"' /tmp/q-raw.json
+kill -0 "$SERVE_PID" || { echo "ci: daemon died on malformed frame" >&2; exit 1; }
+timeout 60 "$TS" query stats --port "$PORT" > /tmp/q-stats.json
+grep -q '"hits": 1' /tmp/q-stats.json
+# graceful drain: SIGTERM, bounded wait, daemon must exit 0 with a summary
+kill -TERM "$SERVE_PID"
+i=0
+while kill -0 "$SERVE_PID" 2> /dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "ci: serve did not drain after SIGTERM" >&2
+    kill -9 "$SERVE_PID" 2> /dev/null || true; exit 1
+  fi
+  sleep 0.2
+done
+wait "$SERVE_PID"
+grep -q "served .* request" /tmp/serve.out
+
 echo "ci: ok"

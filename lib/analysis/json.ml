@@ -76,3 +76,230 @@ let to_string_pretty v =
   let buf = Buffer.create 256 in
   add buf ~indent:0 v;
   Buffer.contents buf
+
+(* --- parsing -----------------------------------------------------------
+
+   A hand-rolled recursive-descent parser, the read half of the emitter
+   above: the service daemon must parse request frames off the wire and
+   the container may not carry a JSON library.  Accepts exactly RFC-8259
+   JSON (with \uXXXX escapes decoded to UTF-8); rejects everything else
+   with a position-stamped message. *)
+
+exception Parse_error of string
+
+let parse_error pos msg =
+  raise (Parse_error (Printf.sprintf "at byte %d: %s" pos msg))
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> parse_error !pos (Printf.sprintf "expected %c, found %c" c c')
+    | None -> parse_error !pos (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else parse_error !pos ("expected " ^ word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then parse_error !pos "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> parse_error !pos "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    (* code point to UTF-8; surrogate pairs were already combined *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then parse_error !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance (); Buffer.contents buf
+      | '\\' ->
+        advance ();
+        (if !pos >= n then parse_error !pos "unterminated escape";
+         (match s.[!pos] with
+          | '"' -> advance (); Buffer.add_char buf '"'
+          | '\\' -> advance (); Buffer.add_char buf '\\'
+          | '/' -> advance (); Buffer.add_char buf '/'
+          | 'b' -> advance (); Buffer.add_char buf '\b'
+          | 'f' -> advance (); Buffer.add_char buf '\012'
+          | 'n' -> advance (); Buffer.add_char buf '\n'
+          | 'r' -> advance (); Buffer.add_char buf '\r'
+          | 't' -> advance (); Buffer.add_char buf '\t'
+          | 'u' ->
+            advance ();
+            let cp = hex4 () in
+            let cp =
+              if cp >= 0xd800 && cp <= 0xdbff then begin
+                (* high surrogate: a \uXXXX low surrogate must follow *)
+                if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo < 0xdc00 || lo > 0xdfff then
+                    parse_error !pos "invalid low surrogate";
+                  0x10000 + (((cp - 0xd800) lsl 10) lor (lo - 0xdc00))
+                end
+                else parse_error !pos "lone high surrogate"
+              end
+              else if cp >= 0xdc00 && cp <= 0xdfff then
+                parse_error !pos "lone low surrogate"
+              else cp
+            in
+            add_utf8 buf cp
+          | c -> parse_error !pos (Printf.sprintf "bad escape \\%c" c)));
+        go ()
+      | c when Char.code c < 0x20 -> parse_error !pos "unescaped control character"
+      | c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = d0 then parse_error !pos "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    (match peek () with
+     | Some '0' -> advance ()
+     | Some ('1' .. '9') -> digits ()
+     | _ -> parse_error !pos "expected digit");
+    let fractional = peek () = Some '.' in
+    if fractional then begin advance (); digits () end;
+    let exponent = match peek () with Some ('e' | 'E') -> true | _ -> false in
+    if exponent then begin
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    end;
+    let lexeme = String.sub s start (!pos - start) in
+    if (not fractional) && not exponent then
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> Float (float_of_string lexeme)
+    else Float (float_of_string lexeme)
+  in
+  let rec parse_value depth =
+    if depth > 512 then parse_error !pos "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> parse_error !pos "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); List [] end
+      else begin
+        let items = ref [ parse_value (depth + 1) ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value (depth + 1) :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value (depth + 1) in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some c -> parse_error !pos (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then parse_error !pos "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- field accessors ---------------------------------------------------
+
+   Tiny lookup helpers for consumers of parsed documents (the service's
+   request decoder, the tests).  All are total: a missing or mistyped
+   field is [None], never an exception. *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_str_opt = function Str s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None

@@ -19,3 +19,23 @@ val to_string : t -> string
 
 (** Two-space indented rendering, for humans reading the gate output. *)
 val to_string_pretty : t -> string
+
+(** [of_string s] parses one RFC-8259 JSON document — the read half of the
+    emitter, added for the service daemon's wire frames.  Numbers without a
+    fraction or exponent that fit in an OCaml [int] parse as [Int], all
+    others as [Float]; [\uXXXX] escapes (including surrogate pairs) decode
+    to UTF-8.  Trailing non-whitespace after the document is an error.
+    [Error msg] carries a byte position. *)
+val of_string : string -> (t, string) result
+
+(** [member k doc] is field [k] of [doc] when [doc] is an object carrying
+    it, else [None]. *)
+val member : string -> t -> t option
+
+(** Total projections; [None] on a type mismatch. [to_float_opt] also
+    accepts [Int]. *)
+val to_int_opt : t -> int option
+
+val to_str_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_float_opt : t -> float option

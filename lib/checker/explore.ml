@@ -431,6 +431,24 @@ let binary_inputs n =
   in
   List.map (fun bits -> Array.of_list (List.map Value.int bits)) (go n)
 
+let violation_kind = function
+  | Agreement_violation _ -> "agreement"
+  | Validity_violation _ -> "validity"
+  | Solo_stuck _ -> "solo-termination"
+  | Crash_stuck _ -> "resilience"
+
+let violation_inputs = function
+  | Agreement_violation { inputs; _ }
+  | Validity_violation { inputs; _ }
+  | Solo_stuck { inputs; _ }
+  | Crash_stuck { inputs; _ } -> inputs
+
+let violation_schedule = function
+  | Agreement_violation { schedule; _ }
+  | Validity_violation { schedule; _ }
+  | Solo_stuck { schedule; _ }
+  | Crash_stuck { schedule; _ } -> schedule
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "%d configs (deepest %d%s), frontier peak %d, table %d/%d hit/miss, solo cache %d/%d"

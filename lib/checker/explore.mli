@@ -145,5 +145,17 @@ val replay :
 (** All 2^n binary input vectors for [n] processes. *)
 val binary_inputs : int -> Value.t array list
 
+(** Stable machine-readable tag of a violation's kind — ["agreement"],
+    ["validity"], ["solo-termination"] or ["resilience"].  Part of the
+    service wire vocabulary and the CLI [--json] output; keep the strings
+    fixed. *)
+val violation_kind : violation -> string
+
+(** The input vector a violation was found under. *)
+val violation_inputs : violation -> Value.t array
+
+(** The violating schedule prefix. *)
+val violation_schedule : violation -> Execution.event list
+
 val pp_stats : Format.formatter -> stats -> unit
 val pp_violation : Format.formatter -> violation -> unit

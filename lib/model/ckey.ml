@@ -33,6 +33,17 @@ let hash t = t.hash
 let compare a b = String.compare a.digest b.digest
 let digest_bytes t = String.length t.digest
 
+let to_hex t =
+  let n = String.length t.digest in
+  let out = Bytes.create (2 * n) in
+  let hexdig k = Char.chr (if k < 10 then Char.code '0' + k else Char.code 'a' + k - 10) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get t.digest i) in
+    Bytes.unsafe_set out (2 * i) (hexdig (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1) (hexdig (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
+
 (* Fallback for states (and whole foreign configurations, e.g. the mutex
    lock snapshots) without a packed encoder.  Marshal frames carry their
    own length, so the output is self-delimiting too. *)

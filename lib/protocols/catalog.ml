@@ -1,0 +1,37 @@
+open Ts_model
+
+(* Display order is documentation order: legitimate protocols first, the
+   negative controls after.  The names are cache-key material — see the
+   .mli warning before touching an existing entry. *)
+let entries :
+    (string * string * (n:int -> (Protocol.packed, string) result)) list =
+  [
+    ("racing", "Zhu's racing-counters binary consensus",
+     fun ~n -> Ok (Protocol.Packed (Racing.make ~n)));
+    ("racing-rand", "racing with randomized tie-breaking coin flips",
+     fun ~n -> Ok (Protocol.Packed (Racing.make_randomized ~n)));
+    ("swap", "swap-register consensus (two processes)",
+     fun ~n ->
+       if n = 2 then Ok (Protocol.Packed (Swap_consensus.two_process ()))
+       else Error "swap consensus exists only for n = 2");
+    ("swap-chain", "naive chained swap (negative control)",
+     fun ~n -> Ok (Protocol.Packed (Swap_consensus.naive_chain ~n)));
+    ("broken-lww", "last-write-wins (agreement violation control)",
+     fun ~n -> Ok (Protocol.Packed (Broken.last_write_wins ~n)));
+    ("broken-max", "naive max (agreement violation control)",
+     fun ~n -> Ok (Protocol.Packed (Broken.naive_max ~n)));
+    ("broken-const", "decides a constant (validity violation control)",
+     fun ~n -> Ok (Protocol.Packed (Broken.oblivious_seven ~n)));
+    ("broken-spin", "spins forever (solo-termination control)",
+     fun ~n -> Ok (Protocol.Packed (Broken.insomniac ~n)));
+    ("broken-wait", "waits for all (resilience violation control)",
+     fun ~n -> Ok (Protocol.Packed (Broken.wait_for_all ~n)));
+  ]
+
+let find name ~n =
+  match List.find_opt (fun (nm, _, _) -> String.equal nm name) entries with
+  | Some (_, _, make) -> make ~n
+  | None -> Error ("unknown protocol: " ^ name)
+
+let names () = List.map (fun (nm, _, _) -> nm) entries
+let names_doc () = String.concat ", " (names ())

@@ -1,0 +1,30 @@
+(** The one name → protocol-instance factory.
+
+    Before the service layer there were two independent copies of the
+    "CLI name to protocol" match (the [tightspace] front end and the
+    analysis registry); a long-lived daemon answering typed queries by
+    protocol name makes a third copy untenable.  This is the single
+    authority: every consumer — CLI subcommands, the analysis registry's
+    names, the [ts_service] dispatcher and its cache keys — resolves
+    protocol names here, so a name means the same instance everywhere.
+
+    Names are {e stable identifiers}: they participate in service cache
+    keys, so renaming or re-parameterizing an entry silently changes every
+    digest built on it.  Add names freely; change existing semantics only
+    together with a service cache-version bump. *)
+
+open Ts_model
+
+(** [find name ~n] instantiates protocol [name] for [n] processes.
+    [Error msg] names the unknown protocol or the unsupported [n]
+    (e.g. ["swap"] exists only for [n = 2]). *)
+val find : string -> n:int -> (Protocol.packed, string) result
+
+(** Registered names, in display order — the vocabulary accepted by
+    [find], the CLI's [--protocol] and the service's ["protocol"]
+    request field. *)
+val names : unit -> string list
+
+(** [names_doc ()] is the comma-separated name list, for CLI [--help]
+    strings and error messages. *)
+val names_doc : unit -> string

@@ -1,0 +1,40 @@
+module Json = Ts_analysis.Json
+
+type conn = { fd : Unix.file_descr }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let recv c =
+  match Frame.read c.fd with
+  | Error e -> Error (Frame.error_to_string e)
+  | Ok payload -> (
+    match Json.of_string payload with
+    | Error msg -> Error (Printf.sprintf "unparsable response: %s" msg)
+    | Ok doc -> Ok doc)
+
+let rpc c doc =
+  match Frame.write c.fd (Json.to_string doc) with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+  | () -> recv c
+
+let send_raw c bytes =
+  let n = String.length bytes in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring c.fd bytes off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let request ?host ~port doc =
+  let c = connect ?host ~port () in
+  Fun.protect (fun () -> rpc c doc) ~finally:(fun () -> close c)

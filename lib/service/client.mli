@@ -1,0 +1,35 @@
+(** Minimal client for the [tightspace serve] wire protocol.
+
+    Used by the [tightspace query] subcommand, the load generator and the
+    end-to-end tests.  One {!conn} is one TCP connection carrying any
+    number of sequential request/response exchanges. *)
+
+module Json := Ts_analysis.Json
+
+type conn
+
+(** [connect ~port ()] opens a connection to a serving daemon.
+    [host] defaults to ["127.0.0.1"].
+    @raise Unix.Unix_error when the daemon is not reachable. *)
+val connect : ?host:string -> port:int -> unit -> conn
+
+val close : conn -> unit
+
+(** [rpc conn doc] frames and sends [doc], then reads and parses one
+    response frame.  [Error _] covers transport failures and unparsable
+    responses — protocol-level errors arrive as [Ok] documents with an
+    ["error"] field, exactly as the daemon sent them. *)
+val rpc : conn -> Json.t -> (Json.t, string) result
+
+(** [send_raw conn bytes] writes [bytes] verbatim — no framing, no
+    validation.  Exists so tests and the CI smoke can poke the daemon
+    with deliberately malformed input. *)
+val send_raw : conn -> string -> unit
+
+(** [recv conn] reads one response frame without having sent anything
+    through {!rpc} (pairs with {!send_raw}). *)
+val recv : conn -> (Json.t, string) result
+
+(** One-shot convenience: connect, send one request, read one response,
+    close. *)
+val request : ?host:string -> port:int -> Json.t -> (Json.t, string) result

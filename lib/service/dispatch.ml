@@ -1,0 +1,231 @@
+open Ts_model
+open Ts_core
+module Json = Ts_analysis.Json
+module Explore = Ts_checker.Explore
+module Obs = Ts_obs.Obs
+
+let cache_version = 1
+
+type t = {
+  cache : Json.t Cache.t;
+  default_deadline : float option;
+  default_max_nodes : int option;
+  extra_stats : unit -> (string * Json.t) list;
+}
+
+let create ?(cache_capacity = 4096) ?(cache_shards = 8) ?default_deadline
+    ?default_max_nodes ?(extra_stats = fun () -> []) () =
+  {
+    cache =
+      Cache.create ~shards:cache_shards ~name:"service.cache"
+        ~capacity:cache_capacity ();
+    default_deadline;
+    default_max_nodes;
+    extra_stats;
+  }
+
+(* The canonical key packing: varints and length-prefixed strings, the
+   same self-delimiting building blocks as the engine's configuration
+   keys, so the digest is injective over the field tuple. *)
+let cache_key (r : Request.t) =
+  let buf = Buffer.create 64 in
+  let str s =
+    Value.add_varint buf (String.length s);
+    Buffer.add_string buf s
+  in
+  let int i = Value.add_varint buf i in
+  let opt_int = function None -> int (-1) | Some i -> int i in
+  int cache_version;
+  str (Request.op_to_string r.Request.op);
+  str r.Request.protocol;
+  int r.Request.n;
+  opt_int r.Request.horizon;
+  int r.Request.seed;
+  int r.Request.max_configs;
+  int r.Request.max_depth;
+  int r.Request.solo_budget;
+  int (if r.Request.check_solo then 1 else 0);
+  int r.Request.t_faults;
+  Ckey.of_string (Buffer.contents buf)
+
+let cache_key_hex r = Ckey.to_hex (cache_key r)
+
+let budget_of t (r : Request.t) =
+  let deadline =
+    match r.Request.deadline with Some d -> Some d | None -> t.default_deadline
+  in
+  let max_nodes =
+    match r.Request.max_nodes with
+    | Some m -> Some m
+    | None -> t.default_max_nodes
+  in
+  match deadline, max_nodes with
+  | None, None -> Budget.unlimited
+  | _ -> Budget.create ?deadline ?max_nodes ()
+
+(* The canonical bivalent initial assignment the Theorem-1 construction
+   uses: p1 has input 1, everyone else 0. *)
+let canonical_inputs n = Array.init n (fun p -> Value.int (if p = 1 then 1 else 0))
+
+exception Reject of string * string  (* code, message *)
+
+let protocol_of (r : Request.t) =
+  match Ts_protocols.Catalog.find r.Request.protocol ~n:r.Request.n with
+  | Ok p -> p
+  | Error msg -> raise (Reject ("unknown-protocol", msg))
+
+(* Each computation returns the result document plus whether it is a
+   complete answer (cacheable) — see the .mli cache policy. *)
+let compute t (r : Request.t) : Json.t * bool =
+  match r.Request.op with
+  | Request.Ping -> (Json.Obj [ ("pong", Json.Bool true) ], false)
+  | Request.Stats ->
+    let s = Cache.stats t.cache in
+    ( Json.Obj
+        ([
+           ("cache",
+            Json.Obj
+              [
+                ("hits", Json.Int s.Cache.hits);
+                ("misses", Json.Int s.Cache.misses);
+                ("evictions", Json.Int s.Cache.evictions);
+                ("entries", Json.Int s.Cache.entries);
+                ("capacity", Json.Int s.Cache.capacity);
+                ("shards", Json.Int s.Cache.shards);
+              ]);
+         ]
+        @ t.extra_stats ()),
+      false )
+  | Request.Witness ->
+    let (Protocol.Packed proto) = protocol_of r in
+    let budget = budget_of t r in
+    let outcome, horizon_used =
+      match r.Request.horizon with
+      | Some h ->
+        let v = Valency.create ~budget proto ~horizon:h in
+        (Theorem.theorem1_outcome v, h)
+      | None ->
+        Theorem.theorem1_escalate ~budget proto
+          ~initial_horizon:(10 * r.Request.n)
+    in
+    (match outcome with
+     | Theorem.Complete cert ->
+       let verified = Theorem.verify cert proto in
+       ( Response.witness_to_json ~horizon_used ~verified cert,
+         verified = Ok () )
+     | Theorem.Partial (stop, progress) ->
+       (Response.witness_partial_to_json ~horizon_used stop progress, false))
+  | Request.Check ->
+    let (Protocol.Packed proto) = protocol_of r in
+    let result =
+      Explore.check_consensus proto ~budget:(budget_of t r)
+        ~inputs_list:(Explore.binary_inputs r.Request.n)
+        ~max_configs:r.Request.max_configs ~max_depth:r.Request.max_depth
+        ~solo_budget:r.Request.solo_budget ~check_solo:r.Request.check_solo
+    in
+    ( Response.explore_to_json result,
+      result.Explore.stopped = None && result.Explore.worker_errors = [] )
+  | Request.Resilient ->
+    let (Protocol.Packed proto) = protocol_of r in
+    let result =
+      Explore.check_t_resilient proto ~t:r.Request.t_faults
+        ~budget:(budget_of t r)
+        ~inputs_list:(Explore.binary_inputs r.Request.n)
+        ~max_configs:r.Request.max_configs ~max_depth:r.Request.max_depth
+        ~solo_budget:r.Request.solo_budget
+    in
+    let replay =
+      match result.Explore.verdict with
+      | Error v -> Some (Explore.replay proto v)
+      | Ok () -> None
+    in
+    ( Response.explore_to_json ?replay result,
+      result.Explore.stopped = None && result.Explore.worker_errors = [] )
+  | Request.Valency ->
+    let (Protocol.Packed proto) = protocol_of r in
+    let horizon =
+      match r.Request.horizon with Some h -> h | None -> 10 * r.Request.n
+    in
+    let v = Valency.create ~budget:(budget_of t r) proto ~horizon in
+    let inputs = canonical_inputs r.Request.n in
+    let i0 = Config.initial proto ~inputs in
+    let verdict = Valency.classify v i0 (Pset.all r.Request.n) in
+    (Response.valency_to_json ~inputs ~horizon verdict (Valency.stats v), true)
+  | Request.Analyze -> (
+    match Ts_analysis.Registry.find r.Request.protocol with
+    | None ->
+      raise
+        (Reject
+           ( "unknown-protocol",
+             Printf.sprintf "no registry entry %S (known: %s)"
+               r.Request.protocol
+               (String.concat ", " (Ts_analysis.Registry.names ())) ))
+    | Some entry ->
+      let report = Ts_analysis.Analyze.analyze entry in
+      (Ts_analysis.Analyze.report_to_json report, true))
+
+let cacheable_op (r : Request.t) =
+  match r.Request.op with
+  | Request.Ping | Request.Stats -> false
+  | Request.Witness | Request.Check | Request.Resilient | Request.Valency
+  | Request.Analyze -> true
+
+let handle t (r : Request.t) =
+  let sp = Obs.enter ~cat:"service" "service.request" in
+  Obs.set_str sp "op" (Request.op_to_string r.Request.op);
+  Obs.set_str sp "protocol" r.Request.protocol;
+  Obs.Metrics.incr "service.requests";
+  let started = Unix.gettimeofday () in
+  let finish response =
+    Obs.close sp;
+    response
+  in
+  let elapsed_ms () = (Unix.gettimeofday () -. started) *. 1000. in
+  match
+    if not (cacheable_op r) then
+      let result, _ = compute t r in
+      Response.envelope ~id:r.Request.id ~provenance:None ~cache_key:None
+        ~elapsed_ms:(elapsed_ms ()) result
+    else begin
+      let key = cache_key r in
+      let key_hex = Ckey.to_hex key in
+      match Cache.find t.cache key with
+      | Some result ->
+        Response.envelope ~id:r.Request.id ~provenance:(Some "cached")
+          ~cache_key:(Some key_hex) ~elapsed_ms:(elapsed_ms ()) result
+      | None ->
+        let result, complete = compute t r in
+        if complete then Cache.put t.cache key result;
+        Response.envelope ~id:r.Request.id ~provenance:(Some "fresh")
+          ~cache_key:(Some key_hex) ~elapsed_ms:(elapsed_ms ()) result
+    end
+  with
+  | response -> finish response
+  | exception Reject (code, msg) ->
+    Obs.Metrics.incr "service.errors";
+    finish (Response.error ~id:(Some r.Request.id) ~code msg)
+  | exception Invalid_argument msg ->
+    Obs.Metrics.incr "service.errors";
+    finish (Response.error ~id:(Some r.Request.id) ~code:"invalid-argument" msg)
+  | exception Failure msg ->
+    Obs.Metrics.incr "service.errors";
+    finish
+      (Response.error ~id:(Some r.Request.id) ~code:"construction-failed" msg)
+  | exception Budget.Exhausted b ->
+    Obs.Metrics.incr "service.errors";
+    finish
+      (Response.error ~id:(Some r.Request.id) ~code:"out-of-budget"
+         (Format.asprintf "%a" Budget.pp_breach b))
+  | exception Valency.Horizon_exceeded msg ->
+    Obs.Metrics.incr "service.errors";
+    finish
+      (Response.error ~id:(Some r.Request.id) ~code:"construction-failed"
+         ("oracle horizon too small: " ^ msg))
+  | exception exn ->
+    Obs.Metrics.incr "service.errors";
+    finish
+      (Response.error ~id:(Some r.Request.id) ~code:"internal"
+         (Printexc.to_string exn))
+
+let cache_stats t = Cache.stats t.cache
+let clear_cache t = Cache.clear t.cache

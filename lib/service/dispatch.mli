@@ -1,0 +1,69 @@
+(** The service brain: typed request → engine call → cached, enveloped
+    response.
+
+    One dispatcher owns one sharded result cache ({!Ts_core.Cache}) and
+    answers every operation the daemon accepts.  Transport-free by
+    design — the TCP server, the CLI's [--json] one-shots and the tests
+    all call {!handle} directly, so wire handling and engine semantics
+    are testable apart.
+
+    {b Cache policy.}  An answer is cached iff it is {e complete}: a
+    verified Theorem-1 certificate, an exploration that neither tripped
+    its budget nor lost a worker, a valency classification, an analyzer
+    report.  Partial results and errors are recomputed every time — a
+    partial answer is an artifact of the requester's budget, not a fact
+    about the protocol, and must never be served to a later caller with a
+    bigger budget.
+
+    {b Cache key anatomy.}  The key is a {!Ts_model.Ckey} digest of the
+    canonical packing of every {e result-determining} request field:
+    [cache_version ‖ op ‖ protocol ‖ n ‖ horizon ‖ seed ‖ max_configs ‖
+    max_depth ‖ solo_budget ‖ check_solo ‖ t].  Budgets ([deadline],
+    [max_nodes]) are deliberately excluded: they never change a complete
+    answer, only whether an answer completes.  [cache_version] is baked
+    into every digest, so bumping it invalidates the whole cache at once
+    — required whenever the {!Ts_model.Ckey} component encodings or the
+    {!Response} serialization change shape. *)
+
+module Json := Ts_analysis.Json
+
+(** Version stamp baked into every cache digest.  {b Bump this} whenever
+    packed encodings ([Ckey], [Value.encode], a protocol state encoder) or
+    the {!Response} result serialization change — the digest-stability
+    regression test in [test/suite_digest.ml] fails loudly when that is
+    forgotten. *)
+val cache_version : int
+
+type t
+
+(** [create ()] builds a dispatcher.  [cache_capacity] (default [4096])
+    and [cache_shards] (default [8]) size the result cache;
+    [default_deadline]/[default_max_nodes] bound requests that carry no
+    budget of their own; [extra_stats] is appended to the [stats]
+    operation's result (the server injects queue depth and uptime). *)
+val create :
+  ?cache_capacity:int ->
+  ?cache_shards:int ->
+  ?default_deadline:float ->
+  ?default_max_nodes:int ->
+  ?extra_stats:(unit -> (string * Json.t) list) ->
+  unit ->
+  t
+
+(** The request's cache digest (also computed for uncacheable ops —
+    harmless, and useful for logging). *)
+val cache_key : Request.t -> Ts_model.Ckey.t
+
+(** Hex form of {!cache_key}, as reported in responses. *)
+val cache_key_hex : Request.t -> string
+
+(** [handle t req] executes the request and returns the full response
+    document (success envelope or error).  Never raises: every engine
+    exception maps to a stable error code. *)
+val handle : t -> Request.t -> Json.t
+
+(** Counters of the underlying result cache. *)
+val cache_stats : t -> Ts_core.Cache.stats
+
+(** Drop every cached result (tests; the [--no-cache] serve flag). *)
+val clear_cache : t -> unit

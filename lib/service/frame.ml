@@ -1,0 +1,74 @@
+let max_frame_bytes = 4 * 1024 * 1024
+
+type error =
+  | Eof
+  | Bad_length of string
+  | Too_large of int
+  | Truncated of int
+
+let error_to_string = function
+  | Eof -> "end of stream"
+  | Bad_length s -> Printf.sprintf "malformed frame length %S" (String.escaped s)
+  | Too_large n ->
+    Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" n max_frame_bytes
+  | Truncated n -> Printf.sprintf "stream ended %d bytes short of the frame" n
+
+(* The length prefix is read byte-at-a-time: prefixes are at most 8 bytes,
+   so the syscall count per frame stays constant, and we never consume
+   payload bytes while hunting for the '\n'. *)
+let read_length fd =
+  let buf = Bytes.create 1 in
+  let digits = Buffer.create 8 in
+  let rec go first =
+    if Buffer.length digits > 8 then Error (Bad_length (Buffer.contents digits))
+    else
+      match Unix.read fd buf 0 1 with
+      | 0 -> if first then Error Eof else Error (Bad_length (Buffer.contents digits))
+      | _ -> (
+        match Bytes.get buf 0 with
+        | '\n' ->
+          let s = Buffer.contents digits in
+          if s = "" then Error (Bad_length s)
+          else (
+            match int_of_string_opt s with
+            | Some n when n >= 0 ->
+              if n > max_frame_bytes then Error (Too_large n) else Ok n
+            | _ -> Error (Bad_length s))
+        | '0' .. '9' as c ->
+          Buffer.add_char digits c;
+          go false
+        | c ->
+          Buffer.add_char digits c;
+          Error (Bad_length (Buffer.contents digits)))
+  in
+  go true
+
+let read fd =
+  match read_length fd with
+  | Error _ as e -> e
+  | Ok n ->
+    let payload = Bytes.create n in
+    let rec fill off =
+      if off = n then Ok (Bytes.unsafe_to_string payload)
+      else
+        match Unix.read fd payload off (n - off) with
+        | 0 -> Error (Truncated (n - off))
+        | k -> fill (off + k)
+    in
+    fill 0
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let k = Unix.write_substring fd s off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let write fd payload =
+  if String.length payload > max_frame_bytes then
+    invalid_arg "Frame.write: payload exceeds max_frame_bytes";
+  (* one write for the header+payload when small keeps frames atomic
+     enough for interleaving-free debugging with strace *)
+  write_all fd (string_of_int (String.length payload) ^ "\n" ^ payload)

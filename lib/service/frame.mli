@@ -1,0 +1,40 @@
+(** The service wire framing: length-prefixed JSON over a stream socket.
+
+    A frame is an ASCII decimal byte count, a single ['\n'], then exactly
+    that many payload bytes (the JSON document).  The prefix is
+    self-describing and trivially debuggable with netcat:
+
+    {v 22\n{"id":1,"op":"ping"}\n v}
+
+    (the payload may itself end in a newline or not — only the counted
+    bytes matter).
+
+    Reading distinguishes a clean end-of-stream from a malformed prefix
+    from an oversized claim, because the daemon treats them differently: a
+    clean EOF ends the connection silently, while a malformed or oversized
+    prefix means the stream can no longer be re-synchronized and the
+    connection is dropped after a best-effort error frame.  A payload that
+    is valid framing but invalid JSON is {e not} a framing error — the
+    connection survives it. *)
+
+(** Hard cap on accepted payload sizes, in bytes.  A frame claiming more
+    is rejected without reading it ([Too_large]) — admission control
+    against a client asking the daemon to buffer gigabytes. *)
+val max_frame_bytes : int
+
+type error =
+  | Eof  (** the stream ended cleanly before a prefix byte *)
+  | Bad_length of string  (** the length prefix is not a plain decimal *)
+  | Too_large of int  (** the claimed length, which exceeds {!max_frame_bytes} *)
+  | Truncated of int  (** the stream ended [n] bytes short of the claim *)
+
+val error_to_string : error -> string
+
+(** [read fd] reads one frame, blocking until it is complete.
+    Socket-level failures ([Unix.Unix_error]) propagate. *)
+val read : Unix.file_descr -> (string, error) result
+
+(** [write fd payload] writes one frame, looping until every byte is on
+    the wire.  @raise Invalid_argument if the payload exceeds
+    {!max_frame_bytes}. *)
+val write : Unix.file_descr -> string -> unit

@@ -1,0 +1,108 @@
+module Obs = Ts_obs.Obs
+
+(* The queue state is separated from the pool handle so worker domains
+   capture only [shared] — spawning them never needs a reference to the
+   not-yet-constructed pool value. *)
+type shared = {
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled on enqueue and on stop *)
+  jobs : (unit -> unit) Queue.t;
+  queue_cap : int;
+  mutable stopping : bool;
+  errors : int Atomic.t;
+}
+
+type t = {
+  s : shared;
+  domains : unit Domain.t array;
+  mutable joined : bool;
+  join_lock : Mutex.t;
+}
+
+type submit_result =
+  | Accepted
+  | Overloaded
+  | Shutting_down
+
+let gauge_depth s = Obs.Metrics.gauge "service.queue.depth" (Queue.length s.jobs)
+
+let rec worker_loop s =
+  Mutex.lock s.lock;
+  while Queue.is_empty s.jobs && not s.stopping do
+    Condition.wait s.work s.lock
+  done;
+  if Queue.is_empty s.jobs then
+    (* stopping and drained: exit *)
+    Mutex.unlock s.lock
+  else begin
+    let job = Queue.pop s.jobs in
+    gauge_depth s;
+    Mutex.unlock s.lock;
+    (try job ()
+     with _ ->
+       (* containment: a raising job must not take its worker down *)
+       Atomic.incr s.errors);
+    worker_loop s
+  end
+
+let create ~workers ~queue_cap =
+  if workers < 1 then invalid_arg "Pool.create: workers must be positive";
+  if queue_cap < 1 then invalid_arg "Pool.create: queue_cap must be positive";
+  let s =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      jobs = Queue.create ();
+      queue_cap;
+      stopping = false;
+      errors = Atomic.make 0;
+    }
+  in
+  {
+    s;
+    domains = Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop s));
+    joined = false;
+    join_lock = Mutex.create ();
+  }
+
+let submit t job =
+  let s = t.s in
+  Mutex.lock s.lock;
+  let result =
+    if s.stopping then Shutting_down
+    else if Queue.length s.jobs >= s.queue_cap then begin
+      Obs.Metrics.incr "service.queue.rejections";
+      Overloaded
+    end
+    else begin
+      Queue.push job s.jobs;
+      gauge_depth s;
+      Obs.Metrics.gauge_max "service.queue.peak" (Queue.length s.jobs);
+      Condition.signal s.work;
+      Accepted
+    end
+  in
+  Mutex.unlock s.lock;
+  result
+
+let queue_depth t =
+  Mutex.lock t.s.lock;
+  let d = Queue.length t.s.jobs in
+  Mutex.unlock t.s.lock;
+  d
+
+let job_errors t = Atomic.get t.s.errors
+let workers t = Array.length t.domains
+
+let shutdown t =
+  Mutex.lock t.s.lock;
+  t.s.stopping <- true;
+  Condition.broadcast t.s.work;
+  Mutex.unlock t.s.lock;
+  (* joining is serialized and idempotent so concurrent shutdown calls
+     (signal handler + main) are safe *)
+  Mutex.lock t.join_lock;
+  let join_now = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.join_lock;
+  if join_now then Array.iter Domain.join t.domains

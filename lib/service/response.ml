@@ -1,0 +1,183 @@
+open Ts_model
+open Ts_core
+module Json = Ts_analysis.Json
+module Explore = Ts_checker.Explore
+
+let rec value_to_json = function
+  | Value.Bot -> Json.Null
+  | Value.Int i -> Json.Int i
+  | Value.Bool b -> Json.Bool b
+  | Value.Pair (a, b) ->
+    Json.Obj [ ("fst", value_to_json a); ("snd", value_to_json b) ]
+  | Value.List vs -> Json.List (List.map value_to_json vs)
+
+let values_to_json vs = Json.List (List.map value_to_json vs)
+let inputs_to_json inputs = values_to_json (Array.to_list inputs)
+let regs_to_json regs = Json.List (List.map (fun r -> Json.Int r) regs)
+
+let breach_to_json = function
+  | Budget.Deadline s ->
+    Json.Obj [ ("limit", Json.Str "deadline"); ("allowance", Json.Float s) ]
+  | Budget.Node_cap n ->
+    Json.Obj [ ("limit", Json.Str "nodes"); ("allowance", Json.Int n) ]
+  | Budget.Heap_cap w ->
+    Json.Obj [ ("limit", Json.Str "heap"); ("allowance", Json.Int w) ]
+
+let witness_to_json ~horizon_used ~verified (cert : Theorem.certificate) =
+  Json.Obj
+    [
+      ("status", Json.Str "complete");
+      ("protocol", Json.Str cert.Theorem.protocol_name);
+      ("n", Json.Int cert.Theorem.n);
+      ("horizon", Json.Int horizon_used);
+      ("inputs", inputs_to_json cert.Theorem.inputs);
+      ("schedule_length", Json.Int (List.length cert.Theorem.schedule));
+      ("registers_written", regs_to_json cert.Theorem.registers_written);
+      ("space_bound", Json.Int (List.length cert.Theorem.registers_written));
+      ("covered_registers", regs_to_json cert.Theorem.covered_registers);
+      ("fresh_register", Json.Int cert.Theorem.fresh_register);
+      ("oracle_searches", Json.Int cert.Theorem.oracle_searches);
+      ("verified",
+       match verified with
+       | Ok () -> Json.Bool true
+       | Error msg ->
+         Json.Obj [ ("failed", Json.Str msg) ]);
+    ]
+
+let stop_to_json = function
+  | Theorem.Out_of_budget b ->
+    Json.Obj [ ("reason", Json.Str "budget"); ("breach", breach_to_json b) ]
+  | Theorem.Horizon_wall msg ->
+    Json.Obj [ ("reason", Json.Str "horizon"); ("detail", Json.Str msg) ]
+
+let witness_partial_to_json ~horizon_used stop (p : Theorem.progress) =
+  Json.Obj
+    [
+      ("status", Json.Str "partial");
+      ("horizon", Json.Int horizon_used);
+      ("stop", stop_to_json stop);
+      ("progress",
+       Json.Obj
+         [
+           ("horizon", Json.Int p.Theorem.horizon);
+           ("searches", Json.Int p.Theorem.searches);
+           ("nodes_expanded", Json.Int p.Theorem.nodes_expanded);
+         ]);
+    ]
+
+let violation_to_json v =
+  let base =
+    [
+      ("kind", Json.Str (Explore.violation_kind v));
+      ("inputs", inputs_to_json (Explore.violation_inputs v));
+      ("schedule_length", Json.Int (List.length (Explore.violation_schedule v)));
+    ]
+  in
+  let extra =
+    match v with
+    | Explore.Agreement_violation { values; _ } ->
+      [ ("values", values_to_json values) ]
+    | Explore.Validity_violation { value; _ } ->
+      [ ("value", value_to_json value) ]
+    | Explore.Solo_stuck { pid; _ } -> [ ("pid", Json.Int pid) ]
+    | Explore.Crash_stuck { crashed; survivors; _ } ->
+      [
+        ("crashed", Json.List (List.map (fun p -> Json.Int p) crashed));
+        ("survivors", Json.List (List.map (fun p -> Json.Int p) survivors));
+      ]
+  in
+  Json.Obj (base @ extra)
+
+let explore_stats_to_json (s : Explore.stats) =
+  Json.Obj
+    [
+      ("configs_explored", Json.Int s.Explore.configs_explored);
+      ("truncated", Json.Bool s.Explore.truncated);
+      ("deepest", Json.Int s.Explore.deepest);
+      ("table_hits", Json.Int s.Explore.table_hits);
+      ("table_misses", Json.Int s.Explore.table_misses);
+      ("peak_frontier", Json.Int s.Explore.peak_frontier);
+      ("solo_cache_hits", Json.Int s.Explore.solo_cache_hits);
+      ("solo_cache_misses", Json.Int s.Explore.solo_cache_misses);
+    ]
+
+let explore_to_json ?replay (r : Explore.result) =
+  let verdict, violation =
+    match r.Explore.verdict with
+    | Ok () -> ("clean", Json.Null)
+    | Error v -> ("violation", violation_to_json v)
+  in
+  let replay_field =
+    match replay with
+    | None -> []
+    | Some (Ok ()) -> [ ("replay", Json.Str "confirmed") ]
+    | Some (Error msg) ->
+      [ ("replay", Json.Obj [ ("failed", Json.Str msg) ]) ]
+  in
+  Json.Obj
+    ([
+       ("verdict", Json.Str verdict);
+       ("violation", violation);
+       ("stats", explore_stats_to_json r.Explore.stats);
+       ("stopped",
+        match r.Explore.stopped with
+        | None -> Json.Null
+        | Some b -> breach_to_json b);
+       ("worker_errors",
+        Json.List
+          (List.map
+             (fun (idx, msg) ->
+               Json.Obj [ ("vector", Json.Int idx); ("message", Json.Str msg) ])
+             r.Explore.worker_errors));
+     ]
+    @ replay_field)
+
+let valency_to_json ~inputs ~horizon verdict (s : Valency.stats) =
+  let classification =
+    match verdict with
+    | Valency.Bivalent (w0, w1) ->
+      [
+        ("class", Json.Str "bivalent");
+        ("witness0_length", Json.Int (List.length w0));
+        ("witness1_length", Json.Int (List.length w1));
+      ]
+    | Valency.Univalent (v, w) ->
+      [
+        ("class", Json.Str "univalent");
+        ("value", value_to_json v);
+        ("witness_length", Json.Int (List.length w));
+      ]
+    | Valency.Blocked -> [ ("class", Json.Str "blocked") ]
+  in
+  Json.Obj
+    (classification
+    @ [
+        ("inputs", inputs_to_json inputs);
+        ("horizon", Json.Int horizon);
+        ("stats",
+         Json.Obj
+           [
+             ("searches", Json.Int s.Valency.searches);
+             ("nodes_expanded", Json.Int s.Valency.nodes_expanded);
+             ("memo_hits", Json.Int s.Valency.memo_hits);
+             ("memo_misses", Json.Int s.Valency.memo_misses);
+             ("peak_frontier", Json.Int s.Valency.peak_frontier);
+           ]);
+      ])
+
+let envelope ~id ~provenance ~cache_key ~elapsed_ms result =
+  let opt k v = match v with None -> [] | Some s -> [ (k, Json.Str s) ] in
+  Json.Obj
+    ([ ("id", Json.Int id); ("ok", Json.Bool true) ]
+    @ opt "provenance" provenance
+    @ opt "cache_key" cache_key
+    @ [ ("elapsed_ms", Json.Float elapsed_ms); ("result", result) ])
+
+let error ~id ~code msg =
+  Json.Obj
+    [
+      ("id", match id with None -> Json.Null | Some i -> Json.Int i);
+      ("ok", Json.Bool false);
+      ("error",
+       Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]);
+    ]

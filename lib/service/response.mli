@@ -1,0 +1,74 @@
+(** Deterministic JSON serialization of engine results.
+
+    These serializers are the {e single} rendering of engine answers: the
+    daemon's response bodies, the CLI's [--json] output and the cache's
+    stored entries all go through them.  That sharing is what gives the
+    service its differential guarantee — a cached answer is the stored
+    output of the very function a cold recomputation would call, so
+    "cached equals fresh" reduces to the serializers being deterministic.
+
+    Accordingly, {b nothing here may depend on wall-clock, addresses,
+    hashing order or domain count}: inputs, schedules, stats counters and
+    verdicts only.  Timing lives in the response {e envelope}
+    ({!envelope}'s [elapsed_ms]), which is never cached. *)
+
+open Ts_model
+open Ts_core
+module Json := Ts_analysis.Json
+
+(** Structural rendering of a register value: [Bot] as [null], ints and
+    bools natively, pairs as [{"fst": ..., "snd": ...}], lists as
+    arrays. *)
+val value_to_json : Value.t -> Json.t
+
+(** A tripped budget limit: [{"limit": "deadline"|"nodes"|"heap",
+    "allowance": ...}]. *)
+val breach_to_json : Budget.breach -> Json.t
+
+(** Theorem-1 outcome.  [verified] is the caller's independent
+    {!Ts_core.Theorem.verify} replay of the certificate (run it before
+    serializing — a service must never cache an unreplayed witness). *)
+val witness_to_json :
+  horizon_used:int ->
+  verified:(unit, string) result ->
+  Theorem.certificate ->
+  Json.t
+
+(** A stopped Theorem-1 construction: status ["partial"] with the stop
+    reason and progress counters. *)
+val witness_partial_to_json :
+  horizon_used:int -> Theorem.stop -> Theorem.progress -> Json.t
+
+(** A checker result: verdict, optional violation (kind via
+    {!Ts_checker.Explore.violation_kind}, inputs, schedule length and the
+    kind-specific payload), full stats, optional breach, worker errors.
+    [replay] (for [resilient]) reports the independent witness replay. *)
+val explore_to_json :
+  ?replay:(unit, string) result -> Ts_checker.Explore.result -> Json.t
+
+(** A valency classification of the canonical initial configuration. *)
+val valency_to_json :
+  inputs:Value.t array ->
+  horizon:int ->
+  Valency.verdict ->
+  Valency.stats ->
+  Json.t
+
+(** [envelope ~id ~provenance ~cache_key ~elapsed_ms result] is the
+    framed success document: [{"id": ..., "ok": true, "provenance":
+    "fresh"|"cached", "cache_key": ..., "elapsed_ms": ..., "result":
+    ...}].  [provenance]/[cache_key] are omitted for uncacheable ops. *)
+val envelope :
+  id:int ->
+  provenance:string option ->
+  cache_key:string option ->
+  elapsed_ms:float ->
+  Json.t ->
+  Json.t
+
+(** [error ~id ~code msg] is the failure document: [{"id": ..., "ok":
+    false, "error": {"code": ..., "message": ...}}].  Stable codes:
+    ["bad-frame"], ["bad-json"], ["bad-request"], ["unknown-protocol"],
+    ["invalid-argument"], ["construction-failed"], ["overloaded"],
+    ["shutting-down"], ["internal"]. *)
+val error : id:int option -> code:string -> string -> Json.t

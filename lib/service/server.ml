@@ -1,0 +1,261 @@
+module Json = Ts_analysis.Json
+module Obs = Ts_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_cap : int;
+  cache_capacity : int;
+  cache_shards : int;
+  request_deadline : float option;
+  max_nodes : int option;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    queue_cap = 64;
+    cache_capacity = 4096;
+    cache_shards = 8;
+    request_deadline = Some 30.;
+    max_nodes = None;
+    verbose = false;
+  }
+
+type t = {
+  config : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  stop : bool Atomic.t;
+  pool : Pool.t;
+  dispatch : Dispatch.t;
+  mutable accept_domain : unit Domain.t option;
+  started_at : float;
+  connections : int Atomic.t;
+  requests : int Atomic.t;
+  malformed : int Atomic.t;
+  refused : int Atomic.t;
+  mutable waited : bool;
+}
+
+let log t fmt =
+  if t.config.verbose then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* Polling granularity of the accept and per-connection read loops: the
+   latency ceiling on noticing a stop request. *)
+let poll_interval = 0.2
+
+let write_response fd doc =
+  match Frame.write fd (Json.to_string doc) with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+(* One connection, owned by one pool worker.  Requests are answered in
+   order until EOF, framing damage, peer disappearance or server drain. *)
+let handle_conn t fd =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ fd ] [] [] poll_interval with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Frame.read fd with
+        | Error Frame.Eof -> ()
+        | Error e ->
+          (* framing damage desynchronizes the stream: answer once, close *)
+          Atomic.incr t.malformed;
+          Obs.Metrics.incr "service.malformed";
+          ignore
+            (write_response fd
+               (Response.error ~id:None ~code:"bad-frame"
+                  (Frame.error_to_string e)))
+        | Ok payload ->
+          let response =
+            match Json.of_string payload with
+            | Error msg ->
+              Atomic.incr t.malformed;
+              Obs.Metrics.incr "service.malformed";
+              Response.error ~id:None ~code:"bad-json" msg
+            | Ok doc -> (
+              match Request.of_json doc with
+              | Error msg ->
+                Atomic.incr t.malformed;
+                Obs.Metrics.incr "service.malformed";
+                let id = Option.bind (Json.member "id" doc) Json.to_int_opt in
+                Response.error ~id ~code:"bad-request" msg
+              | Ok req ->
+                Atomic.incr t.requests;
+                Dispatch.handle t.dispatch req)
+          in
+          if write_response fd response then loop ())
+  in
+  Fun.protect
+    (fun () -> loop ())
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+
+let refuse t fd code msg =
+  Atomic.incr t.refused;
+  Obs.Metrics.incr "service.refused";
+  ignore (write_response fd (Response.error ~id:None ~code msg));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ t.lsock ] [] [] poll_interval with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept ~cloexec:true t.lsock with
+        | exception Unix.Unix_error _ -> loop ()
+        | fd, peer ->
+          Atomic.incr t.connections;
+          log t "service: connection from %s"
+            (match peer with
+             | Unix.ADDR_INET (a, p) ->
+               Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+             | Unix.ADDR_UNIX p -> p);
+          (match Pool.submit t.pool (fun () -> handle_conn t fd) with
+           | Pool.Accepted -> ()
+           | Pool.Overloaded ->
+             refuse t fd "overloaded"
+               "job queue full; retry later or raise --queue-cap"
+           | Pool.Shutting_down ->
+             refuse t fd "shutting-down" "daemon is draining");
+          loop ())
+  in
+  loop ();
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ())
+
+let start config =
+  let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind lsock
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port))
+   with e -> (try Unix.close lsock with Unix.Unix_error _ -> ()); raise e);
+  Unix.listen lsock 64;
+  let bound_port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  (* the dispatcher's stats hook needs the server record, which needs the
+     dispatcher: tie the knot through a ref *)
+  let stats_hook = ref (fun () -> []) in
+  let dispatch =
+    Dispatch.create ~cache_capacity:config.cache_capacity
+      ~cache_shards:config.cache_shards
+      ?default_deadline:config.request_deadline
+      ?default_max_nodes:config.max_nodes
+      ~extra_stats:(fun () -> !stats_hook ())
+      ()
+  in
+  let pool = Pool.create ~workers:config.workers ~queue_cap:config.queue_cap in
+  let stop = Atomic.make false in
+  let t =
+    {
+      config;
+      lsock;
+      bound_port;
+      stop;
+      pool;
+      dispatch;
+      accept_domain = None;
+      started_at = Unix.gettimeofday ();
+      connections = Atomic.make 0;
+      requests = Atomic.make 0;
+      malformed = Atomic.make 0;
+      refused = Atomic.make 0;
+      waited = false;
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  stats_hook :=
+    (fun () ->
+      [
+        ("queue_depth", Json.Int (Pool.queue_depth t.pool));
+        ("workers", Json.Int (Pool.workers t.pool));
+        ("connections", Json.Int (Atomic.get t.connections));
+        ("requests", Json.Int (Atomic.get t.requests));
+        ("malformed", Json.Int (Atomic.get t.malformed));
+        ("refused", Json.Int (Atomic.get t.refused));
+        ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ]);
+  t
+
+let port t = t.bound_port
+let request_stop t = Atomic.set t.stop true
+let stopping t = Atomic.get t.stop
+
+let wait t =
+  if not t.waited then begin
+    t.waited <- true;
+    (match t.accept_domain with Some d -> Domain.join d | None -> ());
+    Pool.shutdown t.pool
+  end
+
+let stop t =
+  request_stop t;
+  wait t
+
+let dispatcher t = t.dispatch
+
+type summary = {
+  connections : int;
+  requests : int;
+  malformed : int;
+  refused : int;
+  job_errors : int;
+  cache : Ts_core.Cache.stats;
+  uptime : float;
+}
+
+let summary (t : t) =
+  {
+    connections = Atomic.get t.connections;
+    requests = Atomic.get t.requests;
+    malformed = Atomic.get t.malformed;
+    refused = Atomic.get t.refused;
+    job_errors = Pool.job_errors t.pool;
+    cache = Dispatch.cache_stats t.dispatch;
+    uptime = Unix.gettimeofday () -. t.started_at;
+  }
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("connections", Json.Int s.connections);
+      ("requests", Json.Int s.requests);
+      ("malformed", Json.Int s.malformed);
+      ("refused", Json.Int s.refused);
+      ("job_errors", Json.Int s.job_errors);
+      ("cache",
+       Json.Obj
+         [
+           ("hits", Json.Int s.cache.Ts_core.Cache.hits);
+           ("misses", Json.Int s.cache.Ts_core.Cache.misses);
+           ("evictions", Json.Int s.cache.Ts_core.Cache.evictions);
+           ("entries", Json.Int s.cache.Ts_core.Cache.entries);
+         ]);
+      ("uptime_s", Json.Float s.uptime);
+    ]
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "served %d request%s on %d connection%s in %.1fs (%d malformed, %d \
+     refused, %d handler error%s)@.cache: %a"
+    s.requests
+    (if s.requests = 1 then "" else "s")
+    s.connections
+    (if s.connections = 1 then "" else "s")
+    s.uptime s.malformed s.refused s.job_errors
+    (if s.job_errors = 1 then "" else "s")
+    Ts_core.Cache.pp_stats s.cache

@@ -1,0 +1,79 @@
+(** The [tightspace serve] daemon: framed JSON over TCP, answered by a
+    {!Dispatch} dispatcher on a {!Pool} of worker domains.
+
+    {b Connection model.}  The accept loop runs on its own domain and
+    submits each accepted connection to the pool as one job; a worker owns
+    the connection for its lifetime and answers its requests sequentially.
+    When the pool's queue is full the connection is refused on the spot
+    with an ["overloaded"] error frame — admission control, not silent
+    queueing.
+
+    {b Robustness.}  A malformed frame or unparsable request earns an
+    error response and (for framing damage, which desynchronizes the
+    stream) a closed connection — never a dead daemon.  Per-request
+    engine work is bounded by the configured default budget unless the
+    request carries its own.
+
+    {b Shutdown.}  {!request_stop} (also safe from a signal handler)
+    begins a graceful drain: the listener closes, in-flight connections
+    finish their current request and close, the pool drains, and
+    {!wait} returns.  [tightspace serve] wires SIGINT/SIGTERM to exactly
+    this. *)
+
+module Json := Ts_analysis.Json
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port — see {!port} *)
+  workers : int;  (** worker domains (= max concurrent connections) *)
+  queue_cap : int;  (** accepted-but-unserved connection bound *)
+  cache_capacity : int;  (** result-cache entries *)
+  cache_shards : int;
+  request_deadline : float option;
+      (** default per-request wall-clock budget, seconds *)
+  max_nodes : int option;  (** default per-request search-node budget *)
+  verbose : bool;  (** log per-connection events to stderr *)
+}
+
+val default_config : config
+
+type t
+
+(** [start config] binds, listens, spawns the accept domain and the
+    worker pool, and returns immediately.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+val start : config -> t
+
+(** The actually bound port (interesting when [config.port = 0]). *)
+val port : t -> int
+
+(** Begin a graceful drain.  Async-signal-safe (one atomic store). *)
+val request_stop : t -> unit
+
+val stopping : t -> bool
+
+(** Block until the drain completes: accept domain joined, pool drained
+    and joined, listener closed.  Call {!request_stop} first (or from a
+    signal handler). *)
+val wait : t -> unit
+
+(** [stop t] is {!request_stop} followed by {!wait}. *)
+val stop : t -> unit
+
+(** The dispatcher, for in-process use (tests, the load generator's
+    baseline measurements). *)
+val dispatcher : t -> Dispatch.t
+
+type summary = {
+  connections : int;  (** accepted, including refused-overloaded ones *)
+  requests : int;  (** well-formed requests dispatched *)
+  malformed : int;  (** frames or documents rejected *)
+  refused : int;  (** connections refused by admission control *)
+  job_errors : int;  (** connection handlers that raised (contained) *)
+  cache : Ts_core.Cache.stats;
+  uptime : float;  (** seconds since {!start} *)
+}
+
+val summary : t -> summary
+val summary_to_json : summary -> Json.t
+val pp_summary : Format.formatter -> summary -> unit

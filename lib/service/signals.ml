@@ -1,0 +1,32 @@
+let exit_code signo =
+  if signo = Sys.sigint then 130
+  else if signo = Sys.sigterm then 143
+  else 128 (* not installed by this module; conservative fallback *)
+
+(* The currently installed callback, reachable for [simulate].  A plain
+   ref: handlers run on the main domain at safe points, and installers
+   run before any signal can be delivered. *)
+let handler : (int -> unit) option ref = ref None
+let exits = ref false
+
+let deliver signo =
+  match !handler with
+  | None -> ()
+  | Some f ->
+    f signo;
+    if !exits then Stdlib.exit (exit_code signo)
+
+let install ~exit_after ~on_signal =
+  handler := Some on_signal;
+  exits := exit_after;
+  Sys.set_signal Sys.sigint (Sys.Signal_handle deliver);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle deliver)
+
+let simulate signo = match !handler with None -> () | Some f -> f signo
+let installed () = !handler <> None
+
+let uninstall () =
+  handler := None;
+  exits := false;
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  Sys.set_signal Sys.sigterm Sys.Signal_default

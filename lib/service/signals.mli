@@ -1,0 +1,38 @@
+(** SIGINT/SIGTERM plumbing for long-running runs.
+
+    Two consumers with one need — "do something orderly when the user
+    interrupts":
+
+    - the {e daemon} installs a non-exiting handler that flips its stop
+      flag, turning the signal into a graceful drain;
+    - the {e long-running CLI subcommands} ([check], [resilient],
+      [trace]) install an exiting handler that flushes whatever partial
+      observability output exists (metrics snapshot, buffered spans)
+      before leaving with the conventional [128 + signo] code.
+
+    The installed callback is kept reachable so tests can drive the exact
+    code path a real delivery would run ({!simulate}) without sending a
+    signal or exiting the test runner. *)
+
+(** The conventional shell exit code for dying by this signal: 130 for
+    SIGINT, 143 for SIGTERM (the only two this module installs). *)
+val exit_code : int -> int
+
+(** [install ~exit_after ~on_signal] registers [on_signal] for SIGINT and
+    SIGTERM.  With [exit_after], the process exits with {!exit_code}
+    after the callback returns (the CLI mode); without, delivery only
+    runs the callback (the daemon mode — the callback must make the
+    process wind down itself).  Installing again replaces the previous
+    callback. *)
+val install : exit_after:bool -> on_signal:(int -> unit) -> unit
+
+(** [simulate signo] runs the installed callback exactly as a delivery
+    would, but never exits — the test hook.  No-op when nothing is
+    installed. *)
+val simulate : int -> unit
+
+(** Whether a callback is currently installed. *)
+val installed : unit -> bool
+
+(** Remove the handlers and restore default signal behaviour. *)
+val uninstall : unit -> unit

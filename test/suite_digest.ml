@@ -1,0 +1,133 @@
+(* Cache-key digest stability.
+
+   The service cache and every Ckey-keyed table identify engine answers by
+   packed-configuration digests.  Those digests are pure functions of the
+   component encodings (Ckey's varints, Value.encode, protocol state
+   encoders) and of Dispatch's request packing — so any change to an
+   encoding silently REKEYS EVERY CACHE without anyone noticing, unless a
+   test pins the bytes.  This suite pins them: golden hex digests for
+
+     - the packed initial configuration of every registry protocol, and
+     - the service cache key of a canonical witness request per catalog
+       name.
+
+   If a check here fails and the encoding change is intentional, bump
+   Ts_service.Dispatch.cache_version and refresh the goldens below —
+   stale cache entries from older builds must not be served under the new
+   encoding. *)
+
+open Ts_model
+module Registry = Ts_analysis.Registry
+module Dispatch = Ts_service.Dispatch
+module Request = Ts_service.Request
+
+let bump_hint = "digest changed — bump Ts_service.Dispatch.cache_version and refresh goldens: "
+
+(* Golden digests of Config.initial over each registry entry's first
+   declared input vector. *)
+let config_goldens =
+  [
+    ("racing", "52000053000000000052020053000000000000000000");
+    ("racing-rand", "52000053000000000052020053000000000000000000");
+    ("swap", "52530052530000");
+    ("kset", "520000005300000000005200080053000000000052020000530000000000000000000000");
+    ("multivalued", "5200000050520200005000000000000000000000");
+    ("swap-chain", "52530052530052530000");
+    ("broken-lww", "524c0000524c000000");
+    ("broken-max", "524d00000000524d020000000000");
+    ("broken-const", "52430e52430e00");
+    ("broken-spin", "525a525a00");
+    ("broken-wait", "52410000524102000000");
+    ("broken-rogue", "525200005252000000");
+  ]
+
+(* Golden service cache keys for a default witness request per catalog
+   name ([n] = 2 where the protocol requires it, else 3). *)
+let request_goldens =
+  [
+    ("racing", "020e7769746e6573730c726163696e670601d41fc0a90750d8040202");
+    ("racing-rand", "020e7769746e65737316726163696e672d72616e640601d41fc0a90750d8040202");
+    ("swap", "020e7769746e65737308737761700401d41fc0a90750d8040202");
+    ("swap-chain", "020e7769746e65737314737761702d636861696e0601d41fc0a90750d8040202");
+    ("broken-lww", "020e7769746e6573731462726f6b656e2d6c77770601d41fc0a90750d8040202");
+    ("broken-max", "020e7769746e6573731462726f6b656e2d6d61780601d41fc0a90750d8040202");
+    ("broken-const", "020e7769746e6573731862726f6b656e2d636f6e73740601d41fc0a90750d8040202");
+    ("broken-spin", "020e7769746e6573731662726f6b656e2d7370696e0601d41fc0a90750d8040202");
+    ("broken-wait", "020e7769746e6573731662726f6b656e2d776169740601d41fc0a90750d8040202");
+  ]
+
+let config_digest (e : Registry.entry) =
+  match e.Registry.protocol with
+  | Protocol.Packed proto ->
+    let inputs =
+      match e.Registry.inputs_list with
+      | inputs :: _ -> inputs
+      | [] -> Alcotest.failf "%s: registry entry declares no inputs" e.Registry.cli_name
+    in
+    Ckey.to_hex (Ckey.pack (Ckey.packer proto) (Config.initial proto ~inputs))
+
+let test_version_pinned () =
+  (* when this fails you bumped the version: refresh every golden here *)
+  Alcotest.(check int) "Dispatch.cache_version matches the goldens" 1
+    Dispatch.cache_version
+
+let test_registry_covered () =
+  let names = List.map (fun (e : Registry.entry) -> e.Registry.cli_name) (Registry.all ()) in
+  Alcotest.(check (list string)) "every registry entry has a golden digest"
+    names (List.map fst config_goldens)
+
+let test_config_digests () =
+  List.iter
+    (fun (name, golden) ->
+      match Registry.find name with
+      | None -> Alcotest.failf "golden names unknown registry entry %s" name
+      | Some e ->
+        Alcotest.(check string) (bump_hint ^ "initial config of " ^ name) golden
+          (config_digest e))
+    config_goldens
+
+let test_request_digests () =
+  List.iter
+    (fun (name, golden) ->
+      let n = if name = "swap" then 2 else 3 in
+      let req = { Request.defaults with Request.op = Request.Witness; protocol = name; n } in
+      Alcotest.(check string) (bump_hint ^ "witness request on " ^ name) golden
+        (Dispatch.cache_key_hex req))
+    request_goldens
+
+let test_request_digest_sensitivity () =
+  (* the key must react to every result-determining field and to none of
+     the budget fields *)
+  let base = { Request.defaults with Request.op = Request.Check } in
+  let key r = Dispatch.cache_key_hex r in
+  let differs name r =
+    Alcotest.(check bool) (name ^ " changes the digest") false (key base = key r)
+  in
+  differs "op" { base with Request.op = Request.Resilient };
+  differs "protocol" { base with Request.protocol = "swap-chain" };
+  differs "n" { base with Request.n = base.Request.n + 1 };
+  differs "horizon" { base with Request.horizon = Some 17 };
+  differs "seed" { base with Request.seed = base.Request.seed + 1 };
+  differs "max_configs" { base with Request.max_configs = 123 };
+  differs "max_depth" { base with Request.max_depth = 7 };
+  differs "solo_budget" { base with Request.solo_budget = 11 };
+  differs "check_solo" { base with Request.check_solo = not base.Request.check_solo };
+  differs "t_faults" { base with Request.t_faults = 2 };
+  Alcotest.(check string) "deadline is NOT cache-key material (partials are never cached)"
+    (key base)
+    (key { base with Request.deadline = Some 1.0 });
+  Alcotest.(check string) "max_nodes is NOT cache-key material" (key base)
+    (key { base with Request.max_nodes = Some 99 });
+  Alcotest.(check string) "id is NOT cache-key material" (key base)
+    (key { base with Request.id = 424242 })
+
+let suite =
+  ( "digest-stability",
+    [
+      Alcotest.test_case "cache_version pinned to goldens" `Quick test_version_pinned;
+      Alcotest.test_case "every registry entry covered" `Quick test_registry_covered;
+      Alcotest.test_case "initial-config digests" `Quick test_config_digests;
+      Alcotest.test_case "witness-request cache keys" `Quick test_request_digests;
+      Alcotest.test_case "key sensitivity (and budget exclusion)" `Quick
+        test_request_digest_sensitivity;
+    ] )

@@ -118,6 +118,50 @@ let prop_outcomes_match_serial =
       let expected = List.map (fun x -> match f x with v -> Ok v | exception e -> Error e) xs in
       Par.map_list_outcomes ~domains f xs = expected)
 
+(* --- the sharded result cache under multi-domain load ------------------ *)
+
+(* Deterministic "engine work" stand-in keyed by a small key space, so
+   hits, misses and evictions all occur (capacity < distinct keys). *)
+let cache_key i = Ckey.of_string (Printf.sprintf "hammer-key-%d" (i mod 24))
+let cache_value i = (i mod 24) * 1000 + String.length "hammer"
+
+let test_cache_hammer () =
+  let cache = Ts_core.Cache.create ~shards:4 ~name:"hammer" ~capacity:16 () in
+  Trace.start ();
+  let outcomes =
+    Par.map_list ~domains:4
+      (fun d ->
+        List.init 120 (fun j ->
+            let i = (d * 31) + j in
+            let got =
+              Ts_core.Cache.value
+                (Ts_core.Cache.find_or_compute cache (cache_key i) (fun () ->
+                     cache_value i))
+            in
+            got = cache_value i))
+      [ 0; 1; 2; 3 ]
+  in
+  let events = Trace.stop () in
+  (* every answer — fresh, cached or recomputed-after-eviction — equals
+     the uncached recomputation *)
+  Alcotest.(check bool) "all values correct under contention" true
+    (List.for_all (List.for_all Fun.id) outcomes);
+  let stats = Ts_core.Cache.stats cache in
+  Alcotest.(check int) "every lookup accounted" 480
+    (stats.Ts_core.Cache.hits + stats.Ts_core.Cache.misses);
+  Alcotest.(check bool) "hits happened" true (stats.Ts_core.Cache.hits > 0);
+  Alcotest.(check bool) "evictions happened (capacity < key space)" true
+    (stats.Ts_core.Cache.evictions > 0);
+  Alcotest.(check bool) "capacity respected" true
+    (stats.Ts_core.Cache.entries <= 16);
+  (* the cache's shard accesses feed the same detector that certifies the
+     engine: the hammer log must replay race-free *)
+  let report = Ts_analysis.Race.check events in
+  Alcotest.(check bool) "cache shards logged accesses" true
+    (report.Ts_analysis.Race.accesses > 0);
+  Alcotest.(check bool) "cache hammer race-free" true
+    (Ts_analysis.Race.race_free report)
+
 (* --- qcheck: key packing is injective on reachable configurations ----- *)
 
 (* Random walk from random binary inputs; collects the visited configs. *)
@@ -189,5 +233,7 @@ let suite =
       Alcotest.test_case "outcomes keep sibling results" `Quick
         test_outcomes_keep_sibling_results;
       Alcotest.test_case "no domain leak on raise" `Quick test_no_domain_leak_on_raise;
+      Alcotest.test_case "cache hammer: 4 domains, race-free, correct" `Quick
+        test_cache_hammer;
     ]
     @ qcheck_cases )

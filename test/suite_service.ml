@@ -1,0 +1,341 @@
+(* The ts_service daemon: wire framing, the JSON reader, worker-pool
+   scheduling, signal plumbing, and — end to end over real loopback TCP —
+   the differential guarantee that a cached answer is byte-identical to a
+   cold recomputation and that malformed input never kills the daemon. *)
+
+module Json = Ts_analysis.Json
+module Frame = Ts_service.Frame
+module Request = Ts_service.Request
+module Dispatch = Ts_service.Dispatch
+module Pool = Ts_service.Pool
+module Signals = Ts_service.Signals
+module Server = Ts_service.Server
+module Client = Ts_service.Client
+
+(* --- framing ---------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    (fun () -> f a b)
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+
+let test_frame_roundtrip () =
+  with_socketpair @@ fun a b ->
+  List.iter
+    (fun payload ->
+      Frame.write a payload;
+      match Frame.read b with
+      | Ok got -> Alcotest.(check string) "payload survives framing" payload got
+      | Error e -> Alcotest.failf "frame read failed: %s" (Frame.error_to_string e))
+    [ ""; "x"; "{\"op\":\"ping\"}"; String.make 70_000 'j'; "trailing\n" ]
+
+let read_error fd =
+  match Frame.read fd with
+  | Ok _ -> Alcotest.fail "expected a framing error"
+  | Error e -> e
+
+let test_frame_errors () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match read_error b with
+      | Frame.Eof -> ()
+      | e -> Alcotest.failf "expected Eof, got %s" (Frame.error_to_string e));
+  with_socketpair (fun a b ->
+      let junk = "notanumber\n" in
+      ignore (Unix.write_substring a junk 0 (String.length junk));
+      match read_error b with
+      | Frame.Bad_length _ -> ()
+      | e -> Alcotest.failf "expected Bad_length, got %s" (Frame.error_to_string e));
+  with_socketpair (fun a b ->
+      let claim = string_of_int (Frame.max_frame_bytes + 1) ^ "\n" in
+      ignore (Unix.write_substring a claim 0 (String.length claim));
+      match read_error b with
+      | Frame.Too_large _ -> ()
+      | e -> Alcotest.failf "expected Too_large, got %s" (Frame.error_to_string e));
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "10\nabc" 0 6);
+      Unix.close a;
+      match read_error b with
+      | Frame.Truncated short -> Alcotest.(check int) "bytes short" 7 short
+      | e -> Alcotest.failf "expected Truncated, got %s" (Frame.error_to_string e))
+
+(* --- the JSON reader --------------------------------------------------- *)
+
+let test_json_parse () =
+  let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "parse %S: %s" s e in
+  Alcotest.(check bool) "null" true (ok "null" = Json.Null);
+  Alcotest.(check bool) "int" true (ok " -42 " = Json.Int (-42));
+  Alcotest.(check bool) "float" true (ok "2.5e1" = Json.Float 25.);
+  Alcotest.(check bool) "string escapes" true
+    (ok {|"a\"b\\c\nA😀"|} = Json.Str "a\"b\\c\nA\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "nested" true
+    (ok {|{"a":[1,true,null],"b":{"c":"d"}}|}
+     = Json.Obj
+         [ ("a", Json.List [ Json.Int 1; Json.Bool true; Json.Null ]);
+           ("b", Json.Obj [ ("c", Json.Str "d") ]) ]);
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse error on %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "nul"; "\"unterminated"; "1 2"; "{\"a\":}"; "07" ]
+
+let test_json_roundtrip_emitter () =
+  (* parsing what the emitter printed must reproduce the value *)
+  let docs =
+    [
+      Json.Obj
+        [ ("id", Json.Int 3); ("ok", Json.Bool true);
+          ("xs", Json.List [ Json.Null; Json.Str "a b\n\"c\""; Json.Float 1.5 ]) ];
+      Json.List []; Json.Obj []; Json.Str "\x01\x1f backslash \\";
+    ]
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "compact round trip" true (Json.of_string (Json.to_string d) = Ok d);
+      Alcotest.(check bool) "pretty round trip" true
+        (Json.of_string (Json.to_string_pretty d) = Ok d))
+    docs
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      Request.defaults;
+      { Request.defaults with Request.op = Request.Resilient; id = 7;
+        protocol = "swap"; n = 2; horizon = Some 12; t_faults = 2;
+        deadline = Some 1.5; max_nodes = Some 9; check_solo = false };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "of_json (to_json r) = Ok r" true
+        (Request.of_json (Request.to_json r) = Ok r))
+    reqs;
+  (match Request.of_json (Json.Obj [ ("op", Json.Str "transmogrify") ]) with
+   | Ok _ -> Alcotest.fail "unknown op must be rejected"
+   | Error _ -> ());
+  (match Request.of_json (Json.Obj [ ("op", Json.Str "ping"); ("n", Json.Str "three") ]) with
+   | Ok _ -> Alcotest.fail "type-mismatched field must be rejected"
+   | Error _ -> ())
+
+(* --- the worker pool --------------------------------------------------- *)
+
+let test_pool_runs_everything () =
+  let pool = Pool.create ~workers:3 ~queue_cap:64 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 40 do
+    match Pool.submit pool (fun () -> Atomic.incr hits) with
+    | Pool.Accepted -> ()
+    | Pool.Overloaded | Pool.Shutting_down -> Alcotest.fail "submit refused"
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "all jobs ran before shutdown returned" 40 (Atomic.get hits)
+
+let test_pool_backpressure_and_containment () =
+  let pool = Pool.create ~workers:1 ~queue_cap:2 in
+  let release = Atomic.make false in
+  let submit job = Pool.submit pool job in
+  (* wedge the single worker, then fill the queue *)
+  ignore (submit (fun () -> while not (Atomic.get release) do Domain.cpu_relax () done));
+  Unix.sleepf 0.05;
+  ignore (submit (fun () -> failwith "contained"));
+  ignore (submit (fun () -> ()));
+  (match submit (fun () -> ()) with
+   | Pool.Overloaded -> ()
+   | Pool.Accepted -> Alcotest.fail "queue bound not enforced"
+   | Pool.Shutting_down -> Alcotest.fail "pool not shutting down yet");
+  Atomic.set release true;
+  Pool.shutdown pool;
+  Alcotest.(check int) "raising job contained and counted" 1 (Pool.job_errors pool);
+  (match submit (fun () -> ()) with
+   | Pool.Shutting_down -> ()
+   | _ -> Alcotest.fail "post-shutdown submit must be refused")
+
+(* --- signal plumbing --------------------------------------------------- *)
+
+let test_signals_simulate () =
+  Alcotest.(check bool) "nothing installed initially" false (Signals.installed ());
+  let seen = ref [] in
+  Signals.install ~exit_after:true ~on_signal:(fun s -> seen := s :: !seen);
+  Fun.protect ~finally:Signals.uninstall (fun () ->
+      Alcotest.(check bool) "installed" true (Signals.installed ());
+      (* simulate runs the very callback a delivery would, but never exits
+         — the fact that this test survives is half the point *)
+      Signals.simulate Sys.sigint;
+      Signals.simulate Sys.sigterm;
+      Alcotest.(check (list int)) "callback saw both signals"
+        [ Sys.sigterm; Sys.sigint ] !seen);
+  Alcotest.(check bool) "uninstalled" false (Signals.installed ());
+  Alcotest.(check int) "SIGINT convention" 130 (Signals.exit_code Sys.sigint);
+  Alcotest.(check int) "SIGTERM convention" 143 (Signals.exit_code Sys.sigterm)
+
+(* --- end to end over loopback TCP -------------------------------------- *)
+
+let with_server ?(workers = 2) f =
+  let server =
+    Server.start { Server.default_config with Server.port = 0; workers }
+  in
+  Fun.protect (fun () -> f server) ~finally:(fun () -> Server.stop server)
+
+let rpc_ok conn doc =
+  match Client.rpc conn doc with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "rpc failed: %s" e
+
+let witness_req = { Request.defaults with Request.op = Request.Witness; n = 2 }
+
+let member_str k doc =
+  match Json.member k doc with Some (Json.Str s) -> Some s | _ -> None
+
+let test_e2e_ping_and_witness () =
+  with_server @@ fun server ->
+  let conn = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let pong = rpc_ok conn (Request.to_json { Request.defaults with id = 9 }) in
+  Alcotest.(check bool) "pong ok" true (Json.member "ok" pong = Some (Json.Bool true));
+  Alcotest.(check bool) "id echoed" true (Json.member "id" pong = Some (Json.Int 9));
+  let resp = rpc_ok conn (Request.to_json witness_req) in
+  Alcotest.(check (option string)) "cold witness is fresh" (Some "fresh")
+    (member_str "provenance" resp);
+  Alcotest.(check (option string)) "witness completes" (Some "complete")
+    (match Json.member "result" resp with
+     | Some r -> member_str "status" r
+     | None -> None)
+
+let test_e2e_cached_equals_fresh () =
+  with_server @@ fun server ->
+  let conn = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let cold = rpc_ok conn (Request.to_json witness_req) in
+  let warm = rpc_ok conn (Request.to_json witness_req) in
+  Alcotest.(check (option string)) "second answer cached" (Some "cached")
+    (member_str "provenance" warm);
+  let result doc =
+    match Json.member "result" doc with
+    | Some r -> Json.to_string r
+    | None -> Alcotest.fail "response carries no result"
+  in
+  (* the differential guarantee: byte-identical result bodies *)
+  Alcotest.(check string) "cached result byte-identical to fresh" (result cold)
+    (result warm);
+  (* ... and both identical to a cold recomputation on a virgin dispatcher *)
+  let virgin = Dispatch.create () in
+  Alcotest.(check string) "fresh recomputation agrees byte for byte"
+    (result cold)
+    (result (Dispatch.handle virgin witness_req));
+  Alcotest.(check bool) "same cache key reported" true
+    (member_str "cache_key" cold = member_str "cache_key" warm)
+
+let test_e2e_malformed_survival () =
+  with_server @@ fun server ->
+  let port = Server.port server in
+  (* 1: framing garbage — answered with bad-frame, connection dropped *)
+  let c1 = Client.connect ~port () in
+  Client.send_raw c1 "complete garbage\n";
+  (match Client.recv c1 with
+   | Ok doc ->
+     Alcotest.(check (option string)) "bad-frame code" (Some "bad-frame")
+       (match Json.member "error" doc with
+        | Some e -> member_str "code" e
+        | None -> None)
+   | Error e -> Alcotest.failf "no error frame: %s" e);
+  Client.close c1;
+  (* 2: valid frame, invalid JSON — answered, connection survives *)
+  let c2 = Client.connect ~port () in
+  Client.send_raw c2 "9\n{\"op\": xx";
+  (match Client.recv c2 with
+   | Ok doc ->
+     Alcotest.(check (option string)) "bad-json code" (Some "bad-json")
+       (match Json.member "error" doc with
+        | Some e -> member_str "code" e
+        | None -> None)
+   | Error e -> Alcotest.failf "no error frame: %s" e);
+  (* same connection still answers a well-formed request *)
+  let pong = rpc_ok c2 (Request.to_json Request.defaults) in
+  Alcotest.(check bool) "connection survives bad JSON" true
+    (Json.member "ok" pong = Some (Json.Bool true));
+  Client.close c2;
+  (* 3: unknown protocol — typed error, daemon alive *)
+  let c3 = Client.connect ~port () in
+  let resp =
+    rpc_ok c3
+      (Request.to_json
+         { witness_req with Request.protocol = "no-such-protocol" })
+  in
+  Alcotest.(check (option string)) "unknown-protocol code" (Some "unknown-protocol")
+    (match Json.member "error" resp with
+     | Some e -> member_str "code" e
+     | None -> None);
+  Client.close c3;
+  let s = Server.summary server in
+  Alcotest.(check bool) "malformed frames counted" true (s.Server.malformed >= 2);
+  Alcotest.(check int) "no handler died" 0 (s.Server.job_errors)
+
+let test_e2e_concurrent_clients () =
+  with_server ~workers:4 @@ fun server ->
+  let port = Server.port server in
+  let reqs =
+    [
+      { Request.defaults with Request.op = Request.Witness; n = 2 };
+      { Request.defaults with Request.op = Request.Valency; n = 2 };
+      { Request.defaults with Request.op = Request.Check; protocol = "broken-lww"; n = 2 };
+    ]
+  in
+  let worker i () =
+    let conn = Client.connect ~port () in
+    Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+    List.init 6 (fun j ->
+        let req = List.nth reqs ((i + j) mod List.length reqs) in
+        Json.to_string
+          (match Json.member "result" (rpc_ok conn (Request.to_json req)) with
+           | Some r -> r
+           | None -> Json.Null))
+  in
+  let per_domain =
+    Array.init 4 (fun i -> Domain.spawn (worker i)) |> Array.map Domain.join
+  in
+  (* every domain asked the same three questions; the answers must agree
+     byte for byte no matter which worker/cache path served them *)
+  let canonical = ref [] in
+  Array.iteri
+    (fun i results ->
+      List.iteri
+        (fun j body ->
+          let key = (i + j) mod List.length reqs in
+          match List.assoc_opt key !canonical with
+          | None -> canonical := (key, body) :: !canonical
+          | Some expect ->
+            Alcotest.(check string)
+              (Printf.sprintf "domain %d answer %d consistent" i j)
+              expect body)
+        results)
+    per_domain;
+  let stats = Dispatch.cache_stats (Server.dispatcher server) in
+  Alcotest.(check bool) "cache served repeats" true
+    (stats.Ts_core.Cache.hits > 0)
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "frame round trip" `Quick test_frame_roundtrip;
+      Alcotest.test_case "frame error taxonomy" `Quick test_frame_errors;
+      Alcotest.test_case "json reader" `Quick test_json_parse;
+      Alcotest.test_case "json round trips the emitter" `Quick test_json_roundtrip_emitter;
+      Alcotest.test_case "request wire round trip" `Quick test_request_roundtrip;
+      Alcotest.test_case "pool drains everything" `Quick test_pool_runs_everything;
+      Alcotest.test_case "pool backpressure + containment" `Quick
+        test_pool_backpressure_and_containment;
+      Alcotest.test_case "signal handlers (simulated delivery)" `Quick
+        test_signals_simulate;
+      Alcotest.test_case "e2e: ping and witness over TCP" `Quick
+        test_e2e_ping_and_witness;
+      Alcotest.test_case "e2e: cached equals fresh, byte for byte" `Quick
+        test_e2e_cached_equals_fresh;
+      Alcotest.test_case "e2e: malformed input never kills the daemon" `Quick
+        test_e2e_malformed_survival;
+      Alcotest.test_case "e2e: concurrent clients agree" `Quick
+        test_e2e_concurrent_clients;
+    ] )

@@ -23,4 +23,6 @@ let () =
       Suite_runtime.suite;
       Suite_analysis.suite;
       Suite_obs.suite;
+      Suite_service.suite;
+      Suite_digest.suite;
     ]
