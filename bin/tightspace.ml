@@ -594,8 +594,26 @@ let cover_cmd =
 (* serve *)
 module Server = Ts_service.Server
 
+(* --fsync grammar: "always", "never" or a positive interval in seconds *)
+let fsync_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "always" -> Ok Ts_store.Store.Always
+    | "never" -> Ok Ts_store.Store.Never
+    | s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0. -> Ok (Ts_store.Store.Interval f)
+      | _ -> Error (`Msg "expected always, never or a positive interval in seconds"))
+  in
+  let print ppf = function
+    | Ts_store.Store.Always -> Format.pp_print_string ppf "always"
+    | Ts_store.Store.Never -> Format.pp_print_string ppf "never"
+    | Ts_store.Store.Interval f -> Format.fprintf ppf "%g" f
+  in
+  Arg.conv (parse, print)
+
 let serve host port workers queue_cap cache_capacity cache_shards deadline
-    max_nodes verbose =
+    max_nodes store_path store_fsync verbose =
   let config =
     {
       Server.host;
@@ -606,6 +624,8 @@ let serve host port workers queue_cap cache_capacity cache_shards deadline
       cache_shards;
       request_deadline = deadline;
       max_nodes;
+      store_path;
+      store_fsync;
       verbose;
     }
   in
@@ -614,10 +634,14 @@ let serve host port workers queue_cap cache_capacity cache_shards deadline
     Format.eprintf "serve: cannot listen on %s:%d: %s@." host port
       (Unix.error_message err);
     1
+  | exception Failure msg ->
+    Format.eprintf "serve: %s@." msg;
+    1
   | server ->
     (* machine-parseable: the CI smoke and the load generator scrape this *)
-    Printf.printf "tightspace serve: listening on %s:%d (%d workers, queue %d, cache %d)\n%!"
-      host (Server.port server) workers queue_cap cache_capacity;
+    Printf.printf "tightspace serve: listening on %s:%d (%d workers, queue %d, cache %d%s)\n%!"
+      host (Server.port server) workers queue_cap cache_capacity
+      (match store_path with Some p -> ", store " ^ p | None -> "");
     Ts_service.Signals.install ~exit_after:false ~on_signal:(fun signo ->
         Printf.eprintf "tightspace serve: %s received; draining...\n%!"
           (if signo = Sys.sigint then "SIGINT" else "SIGTERM");
@@ -670,15 +694,28 @@ let serve_cmd =
              ~doc:"Default per-request wall-clock budget (requests may carry \
                    their own).")
   in
+  let store =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"PATH"
+             ~doc:"Persist complete answers to the append-only witness log at \
+                   PATH and recover previously-seen answers from it on start.")
+  in
+  let fsync =
+    Arg.(value & opt fsync_conv Ts_store.Store.Always
+         & info [ "fsync" ] ~docv:"POLICY"
+             ~doc:"Store durability: always (fsync every append), never, or a \
+                   positive interval in seconds.")
+  in
   let verbose =
-    Arg.(value & flag & info [ "verbose" ] ~doc:"Log per-connection events.")
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log lifecycle events.")
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the adversary-query daemon: framed JSON over TCP, worker-pool \
-             scheduling, sharded LRU result cache")
+       ~doc:"Run the adversary-query daemon: event-loop request handling, \
+             worker-pool scheduling, sharded LRU result cache, optional \
+             persistent witness store")
     Term.(const serve $ host $ port $ workers $ queue_cap $ cache_capacity
-          $ cache_shards $ deadline $ max_nodes_arg $ verbose)
+          $ cache_shards $ deadline $ max_nodes_arg $ store $ fsync $ verbose)
 
 (* query *)
 let query host port opname protocol n horizon seed max_configs max_depth
@@ -775,6 +812,71 @@ let query_cmd =
           $ seed_arg $ max_configs_arg $ max_depth_arg $ solo_budget $ t_faults
           $ deadline_arg $ max_nodes_arg $ id $ raw)
 
+(* store: offline inspection of a witness log *)
+let store_inspect path json keys =
+  let module S = Ts_store.Store in
+  match S.open_ ~fsync:S.Never path with
+  | Error msg ->
+    Printf.eprintf "store: %s\n" msg;
+    2
+  | Ok st ->
+    Fun.protect
+      ~finally:(fun () -> S.close st)
+      (fun () ->
+        let s = S.stats st in
+        if json then begin
+          let module J = Ts_analysis.Json in
+          let key_list =
+            if not keys then []
+            else begin
+              let acc = ref [] in
+              S.iter st (fun k vlen ->
+                  acc :=
+                    J.Obj
+                      [
+                        ("key", J.Str (Ts_model.Ckey.to_hex k));
+                        ("value_bytes", J.Int vlen);
+                      ]
+                    :: !acc);
+              [ ("keys", J.List (List.rev !acc)) ]
+            end
+          in
+          pr_json
+            (J.Obj
+               ([
+                  ("path", J.Str (S.path st));
+                  ("version", J.Int S.store_version);
+                  ("stats", Ts_service.Response.store_stats_to_json s);
+                ]
+               @ key_list))
+        end
+        else begin
+          Format.printf "witness log %s (format v%d)@.%a@." (S.path st)
+            S.store_version S.pp_stats s;
+          if keys then
+            S.iter st (fun k vlen ->
+                Format.printf "  %s  %d bytes@." (Ts_model.Ckey.to_hex k) vlen)
+        end;
+        (* a truncation performed during this open is worth a loud exit:
+           the log was damaged, even though it is now repaired *)
+        if s.S.torn_truncations > 0 then 1 else 0)
+
+let store_cmd =
+  let path =
+    Arg.(value & pos 0 string "witness.log"
+         & info [] ~docv:"PATH" ~doc:"The witness log file to inspect.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.") in
+  let keys =
+    Arg.(value & flag
+         & info [ "keys" ] ~doc:"List every stored cache key and its answer size.")
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:"Inspect a persistent witness log: record counts, recovery \
+             status, stored keys (exit 1 if a torn tail was truncated)")
+    Term.(const store_inspect $ path $ json $ keys)
+
 let () =
   let doc = "executable reproduction of 'A Tight Space Bound for Consensus'" in
   let info = Cmd.info "tightspace" ~version:"1.0.0" ~doc in
@@ -789,6 +891,7 @@ let () =
              witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
              encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
              dot_cmd; cover_cmd; analyze_cmd; trace_cmd; serve_cmd; query_cmd;
+             store_cmd;
            ])
     with
     | Valency.Horizon_exceeded msg ->

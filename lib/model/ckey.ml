@@ -28,6 +28,7 @@ let hash_string s =
   !h land max_int
 
 let of_string digest = { digest; hash = hash_string digest }
+let to_raw t = t.digest
 let equal a b = a.hash = b.hash && String.equal a.digest b.digest
 let hash t = t.hash
 let compare a b = String.compare a.digest b.digest

@@ -16,6 +16,12 @@
 type t
 
 val of_string : string -> t
+
+(** The packed digest bytes themselves — the inverse of {!of_string}.  The
+    persistent witness store keys its on-disk records by these raw bytes
+    (hex doubles the footprint for no information), so the same golden
+    digests that pin {!to_hex} pin the stored key bytes too. *)
+val to_raw : t -> string
 val equal : t -> t -> bool
 val hash : t -> int
 val compare : t -> t -> int

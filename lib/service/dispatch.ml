@@ -3,26 +3,33 @@ open Ts_core
 module Json = Ts_analysis.Json
 module Explore = Ts_checker.Explore
 module Obs = Ts_obs.Obs
+module Store = Ts_store.Store
 
 let cache_version = 1
 
 type t = {
-  cache : Json.t Cache.t;
+  cache : string Cache.t;
+  (* The cache holds the serialized result body, not a tree: hits splice
+     into envelopes without re-rendering, and what the store persists is
+     exactly what the cache would serve. *)
+  store : Store.t option;
   default_deadline : float option;
   default_max_nodes : int option;
   extra_stats : unit -> (string * Json.t) list;
 }
 
 let create ?(cache_capacity = 4096) ?(cache_shards = 8) ?default_deadline
-    ?default_max_nodes ?(extra_stats = fun () -> []) () =
-  {
-    cache =
-      Cache.create ~shards:cache_shards ~name:"service.cache"
-        ~capacity:cache_capacity ();
-    default_deadline;
-    default_max_nodes;
-    extra_stats;
-  }
+    ?default_max_nodes ?(extra_stats = fun () -> []) ?store () =
+  let cache =
+    Cache.create ~shards:cache_shards ~name:"service.cache"
+      ~capacity:cache_capacity ()
+  in
+  (match store with
+   | None -> ()
+   | Some st ->
+     Cache.set_write_through cache (fun key value ->
+         ignore (Store.append st ~key ~value)));
+  { cache; store; default_deadline; default_max_nodes; extra_stats }
 
 (* The canonical key packing: varints and length-prefixed strings, the
    same self-delimiting building blocks as the engine's configuration
@@ -80,20 +87,12 @@ let compute t (r : Request.t) : Json.t * bool =
   match r.Request.op with
   | Request.Ping -> (Json.Obj [ ("pong", Json.Bool true) ], false)
   | Request.Stats ->
-    let s = Cache.stats t.cache in
     ( Json.Obj
-        ([
-           ("cache",
-            Json.Obj
-              [
-                ("hits", Json.Int s.Cache.hits);
-                ("misses", Json.Int s.Cache.misses);
-                ("evictions", Json.Int s.Cache.evictions);
-                ("entries", Json.Int s.Cache.entries);
-                ("capacity", Json.Int s.Cache.capacity);
-                ("shards", Json.Int s.Cache.shards);
-              ]);
-         ]
+        ([ ("cache", Response.cache_stats_to_json (Cache.stats t.cache)) ]
+        @ (match t.store with
+           | None -> []
+           | Some st ->
+             [ ("store", Response.store_stats_to_json (Store.stats st)) ])
         @ t.extra_stats ()),
       false )
   | Request.Witness ->
@@ -170,62 +169,93 @@ let cacheable_op (r : Request.t) =
   | Request.Witness | Request.Check | Request.Resilient | Request.Valency
   | Request.Analyze -> true
 
-let handle t (r : Request.t) =
+(* Map every engine exception to its stable error code; [f] produces the
+   success document. *)
+let guard ~id f =
+  let err code msg =
+    Obs.Metrics.incr "service.errors";
+    Json.to_string (Response.error ~id:(Some id) ~code msg)
+  in
+  match f () with
+  | response -> response
+  | exception Reject (code, msg) -> err code msg
+  | exception Invalid_argument msg -> err "invalid-argument" msg
+  | exception Failure msg -> err "construction-failed" msg
+  | exception Budget.Exhausted b ->
+    err "out-of-budget" (Format.asprintf "%a" Budget.pp_breach b)
+  | exception Valency.Horizon_exceeded msg ->
+    err "construction-failed" ("oracle horizon too small: " ^ msg)
+  | exception exn -> err "internal" (Printexc.to_string exn)
+
+(* One "service.request" span per request, opened wherever the answer is
+   actually produced (the loop for hits, a worker for computations). *)
+let in_span (r : Request.t) f =
   let sp = Obs.enter ~cat:"service" "service.request" in
   Obs.set_str sp "op" (Request.op_to_string r.Request.op);
   Obs.set_str sp "protocol" r.Request.protocol;
+  let out = guard ~id:r.Request.id f in
+  Obs.close sp;
+  out
+
+type outcome =
+  | Answered of string
+  | Deferred of (unit -> string)
+
+let route t (r : Request.t) =
   Obs.Metrics.incr "service.requests";
-  let started = Unix.gettimeofday () in
-  let finish response =
-    Obs.close sp;
-    response
-  in
-  let elapsed_ms () = (Unix.gettimeofday () -. started) *. 1000. in
-  match
-    if not (cacheable_op r) then
-      let result, _ = compute t r in
-      Response.envelope ~id:r.Request.id ~provenance:None ~cache_key:None
-        ~elapsed_ms:(elapsed_ms ()) result
-    else begin
-      let key = cache_key r in
-      let key_hex = Ckey.to_hex key in
-      match Cache.find t.cache key with
-      | Some result ->
-        Response.envelope ~id:r.Request.id ~provenance:(Some "cached")
-          ~cache_key:(Some key_hex) ~elapsed_ms:(elapsed_ms ()) result
+  if not (cacheable_op r) then
+    (* ping/stats: O(counters), answered on the calling thread *)
+    Answered
+      (in_span r (fun () ->
+           let started = Unix.gettimeofday () in
+           let result, _ = compute t r in
+           Response.envelope_raw ~id:r.Request.id ~provenance:None
+             ~cache_key:None
+             ~elapsed_ms:((Unix.gettimeofday () -. started) *. 1000.)
+             ~result:(Json.to_string result)))
+  else begin
+    let key = cache_key r in
+    let key_hex = Ckey.to_hex key in
+    let hit provenance body started =
+      Response.envelope_raw ~id:r.Request.id ~provenance:(Some provenance)
+        ~cache_key:(Some key_hex)
+        ~elapsed_ms:((Unix.gettimeofday () -. started) *. 1000.)
+        ~result:body
+    in
+    let started = Unix.gettimeofday () in
+    match Cache.find t.cache key with
+    | Some body -> Answered (in_span r (fun () -> hit "cached" body started))
+    | None -> (
+      match
+        match t.store with None -> None | Some st -> Store.find st key
+      with
+      | Some body ->
+        (* warm the memory tier from the log — without re-appending what
+           was just read *)
+        Cache.put ~write_through:false t.cache key body;
+        Answered (in_span r (fun () -> hit "recovered" body started))
       | None ->
-        let result, complete = compute t r in
-        if complete then Cache.put t.cache key result;
-        Response.envelope ~id:r.Request.id ~provenance:(Some "fresh")
-          ~cache_key:(Some key_hex) ~elapsed_ms:(elapsed_ms ()) result
-    end
-  with
-  | response -> finish response
-  | exception Reject (code, msg) ->
-    Obs.Metrics.incr "service.errors";
-    finish (Response.error ~id:(Some r.Request.id) ~code msg)
-  | exception Invalid_argument msg ->
-    Obs.Metrics.incr "service.errors";
-    finish (Response.error ~id:(Some r.Request.id) ~code:"invalid-argument" msg)
-  | exception Failure msg ->
-    Obs.Metrics.incr "service.errors";
-    finish
-      (Response.error ~id:(Some r.Request.id) ~code:"construction-failed" msg)
-  | exception Budget.Exhausted b ->
-    Obs.Metrics.incr "service.errors";
-    finish
-      (Response.error ~id:(Some r.Request.id) ~code:"out-of-budget"
-         (Format.asprintf "%a" Budget.pp_breach b))
-  | exception Valency.Horizon_exceeded msg ->
-    Obs.Metrics.incr "service.errors";
-    finish
-      (Response.error ~id:(Some r.Request.id) ~code:"construction-failed"
-         ("oracle horizon too small: " ^ msg))
-  | exception exn ->
-    Obs.Metrics.incr "service.errors";
-    finish
-      (Response.error ~id:(Some r.Request.id) ~code:"internal"
-         (Printexc.to_string exn))
+        Deferred
+          (fun () ->
+            in_span r (fun () ->
+                let started = Unix.gettimeofday () in
+                let result, complete = compute t r in
+                let body = Json.to_string result in
+                if complete then Cache.put t.cache key body;
+                hit "fresh" body started)))
+  end
+
+let handle_raw t r =
+  match route t r with Answered doc -> doc | Deferred run -> run ()
+
+let handle t r =
+  let raw = handle_raw t r in
+  match Json.of_string raw with
+  | Ok doc -> doc
+  | Error msg ->
+    (* a response we emitted must parse; anything else is a serializer bug *)
+    invalid_arg ("Dispatch.handle: self-emitted document unparseable: " ^ msg)
 
 let cache_stats t = Cache.stats t.cache
+let store_stats t = Option.map Store.stats t.store
 let clear_cache t = Cache.clear t.cache

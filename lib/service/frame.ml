@@ -43,6 +43,37 @@ let read_length fd =
   in
   go true
 
+(* Incremental, allocation-free parse over a caller-owned buffer: the
+   event loop's half of the framing.  Scans [buf[pos..len)] for one
+   complete frame and returns the payload's {e bounds} — no bytes are
+   copied here; the caller decides when (and whether) to materialize the
+   payload.  The length prefix grammar matches [read_length]: at most 8
+   digits, terminated by '\n'. *)
+let parse buf ~pos ~len =
+  if pos >= len then `Need_more
+  else begin
+    let hdr_limit = pos + 9 in
+    (* 8 digits + '\n' *)
+    let bad upto =
+      `Error (Bad_length (Bytes.sub_string buf pos (min (upto - pos) (len - pos))))
+    in
+    let rec scan i n ndigits =
+      if i >= len then if i >= hdr_limit then bad i else `Need_more
+      else
+        match Bytes.unsafe_get buf i with
+        | '\n' ->
+          if ndigits = 0 then bad (i + 1)
+          else if n > max_frame_bytes then `Error (Too_large n)
+          else if i + 1 + n > len then `Need_more
+          else `Frame (i + 1, n)
+        | '0' .. '9' when i < hdr_limit - 1 ->
+          scan (i + 1) ((n * 10) + (Char.code (Bytes.unsafe_get buf i) - Char.code '0'))
+            (ndigits + 1)
+        | _ -> bad (i + 1)
+    in
+    scan pos 0 0
+  end
+
 let read fd =
   match read_length fd with
   | Error _ as e -> e

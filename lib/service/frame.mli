@@ -34,6 +34,22 @@ val error_to_string : error -> string
     Socket-level failures ([Unix.Unix_error]) propagate. *)
 val read : Unix.file_descr -> (string, error) result
 
+(** [parse buf ~pos ~len] scans [buf[pos..len)] for one complete frame
+    without copying or allocating on the happy path — the event loop's
+    incremental half of the framing (the blocking {!read} stays for the
+    synchronous client).
+
+    - [`Frame (off, n)]: a complete frame; the payload is the [n] bytes
+      at [off], and parsing of the next frame resumes at [off + n].
+    - [`Need_more]: no complete frame yet; read more bytes and retry.
+    - [`Error e]: the stream is desynchronized ([Bad_length]) or the
+      claim oversized ([Too_large]); the connection cannot continue. *)
+val parse :
+  Bytes.t ->
+  pos:int ->
+  len:int ->
+  [ `Frame of int * int | `Need_more | `Error of error ]
+
 (** [write fd payload] writes one frame, looping until every byte is on
     the wire.  @raise Invalid_argument if the payload exceeds
     {!max_frame_bytes}. *)

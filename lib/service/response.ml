@@ -165,6 +165,31 @@ let valency_to_json ~inputs ~horizon verdict (s : Valency.stats) =
            ]);
       ])
 
+let store_stats_to_json (s : Ts_store.Store.stats) =
+  Json.Obj
+    [
+      ("records", Json.Int s.Ts_store.Store.records);
+      ("bytes", Json.Int s.Ts_store.Store.bytes);
+      ("appends", Json.Int s.Ts_store.Store.appends);
+      ("recovered", Json.Int s.Ts_store.Store.recovered);
+      ("torn_truncations", Json.Int s.Ts_store.Store.torn_truncations);
+      ("torn_bytes", Json.Int s.Ts_store.Store.torn_bytes);
+      ("lookups", Json.Int s.Ts_store.Store.lookups);
+      ("hits", Json.Int s.Ts_store.Store.hits);
+      ("syncs", Json.Int s.Ts_store.Store.syncs);
+    ]
+
+let cache_stats_to_json (s : Ts_core.Cache.stats) =
+  Json.Obj
+    [
+      ("hits", Json.Int s.Ts_core.Cache.hits);
+      ("misses", Json.Int s.Ts_core.Cache.misses);
+      ("evictions", Json.Int s.Ts_core.Cache.evictions);
+      ("entries", Json.Int s.Ts_core.Cache.entries);
+      ("capacity", Json.Int s.Ts_core.Cache.capacity);
+      ("shards", Json.Int s.Ts_core.Cache.shards);
+    ]
+
 let envelope ~id ~provenance ~cache_key ~elapsed_ms result =
   let opt k v = match v with None -> [] | Some s -> [ (k, Json.Str s) ] in
   Json.Obj
@@ -172,6 +197,33 @@ let envelope ~id ~provenance ~cache_key ~elapsed_ms result =
     @ opt "provenance" provenance
     @ opt "cache_key" cache_key
     @ [ ("elapsed_ms", Json.Float elapsed_ms); ("result", result) ])
+
+(* The hot-path envelope: splices an already-serialized result body into
+   the compact success document without rebuilding (or even parsing) it.
+   Byte-compatible with [Json.to_string (envelope ...)] — the fragments
+   that could diverge (string escaping, float rendering) are delegated to
+   the one Json emitter. *)
+let envelope_raw ~id ~provenance ~cache_key ~elapsed_ms ~result =
+  let buf = Buffer.create (String.length result + 112) in
+  Buffer.add_string buf "{\"id\":";
+  Buffer.add_string buf (string_of_int id);
+  Buffer.add_string buf ",\"ok\":true";
+  (match provenance with
+   | None -> ()
+   | Some p ->
+     Buffer.add_string buf ",\"provenance\":";
+     Buffer.add_string buf (Json.to_string (Json.Str p)));
+  (match cache_key with
+   | None -> ()
+   | Some k ->
+     Buffer.add_string buf ",\"cache_key\":";
+     Buffer.add_string buf (Json.to_string (Json.Str k)));
+  Buffer.add_string buf ",\"elapsed_ms\":";
+  Buffer.add_string buf (Json.to_string (Json.Float elapsed_ms));
+  Buffer.add_string buf ",\"result\":";
+  Buffer.add_string buf result;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
 let error ~id ~code msg =
   Json.Obj

@@ -54,6 +54,13 @@ val valency_to_json :
   Valency.stats ->
   Json.t
 
+(** On-disk witness store counters, the ["store"] section of the stats
+    document. *)
+val store_stats_to_json : Ts_store.Store.stats -> Json.t
+
+(** Result-cache counters, the ["cache"] section of the stats document. *)
+val cache_stats_to_json : Cache.stats -> Json.t
+
 (** [envelope ~id ~provenance ~cache_key ~elapsed_ms result] is the
     framed success document: [{"id": ..., "ok": true, "provenance":
     "fresh"|"cached", "cache_key": ..., "elapsed_ms": ..., "result":
@@ -65,6 +72,20 @@ val envelope :
   elapsed_ms:float ->
   Json.t ->
   Json.t
+
+(** [envelope_raw ~id ~provenance ~cache_key ~elapsed_ms ~result] builds
+    the success document directly as bytes, splicing [result] (an
+    already-serialized body) without parsing or re-rendering it — the
+    event loop's hot path.  Byte-for-byte identical to
+    [Json.to_string (envelope ... (parse result))] for any [result] this
+    module produced. *)
+val envelope_raw :
+  id:int ->
+  provenance:string option ->
+  cache_key:string option ->
+  elapsed_ms:float ->
+  result:string ->
+  string
 
 (** [error ~id ~code msg] is the failure document: [{"id": ..., "ok":
     false, "error": {"code": ..., "message": ...}}].  Stable codes:

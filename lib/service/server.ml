@@ -1,5 +1,6 @@
 module Json = Ts_analysis.Json
 module Obs = Ts_obs.Obs
+module Store = Ts_store.Store
 
 type config = {
   host : string;
@@ -10,6 +11,8 @@ type config = {
   cache_shards : int;
   request_deadline : float option;
   max_nodes : int option;
+  store_path : string option;
+  store_fsync : Store.fsync;
   verbose : bool;
 }
 
@@ -23,22 +26,25 @@ let default_config =
     cache_shards = 8;
     request_deadline = Some 30.;
     max_nodes = None;
+    store_path = None;
+    store_fsync = Store.Always;
     verbose = false;
   }
 
 type t = {
   config : config;
-  lsock : Unix.file_descr;
   bound_port : int;
   stop : bool Atomic.t;
   pool : Pool.t;
   dispatch : Dispatch.t;
-  mutable accept_domain : unit Domain.t option;
+  store : Store.t option;
+  evloop : Evloop.t;
+  mutable loop_domain : unit Domain.t option;
   started_at : float;
-  connections : int Atomic.t;
   requests : int Atomic.t;
   malformed : int Atomic.t;
   refused : int Atomic.t;
+  direct : int Atomic.t;
   mutable waited : bool;
 }
 
@@ -46,107 +52,85 @@ let log t fmt =
   if t.config.verbose then Printf.eprintf (fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
-(* Polling granularity of the accept and per-connection read loops: the
-   latency ceiling on noticing a stop request. *)
-let poll_interval = 0.2
+let err_doc ~id code msg = Json.to_string (Response.error ~id ~code msg)
 
-let write_response fd doc =
-  match Frame.write fd (Json.to_string doc) with
-  | () -> true
-  | exception Unix.Unix_error _ -> false
+let malformed_doc t ~id code msg =
+  Atomic.incr t.malformed;
+  Obs.Metrics.incr "service.malformed";
+  err_doc ~id code msg
 
-(* One connection, owned by one pool worker.  Requests are answered in
-   order until EOF, framing damage, peer disappearance or server drain. *)
-let handle_conn t fd =
-  let rec loop () =
-    if Atomic.get t.stop then ()
-    else
-      match Unix.select [ fd ] [] [] poll_interval with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | [], _, _ -> loop ()
-      | _ -> (
-        match Frame.read fd with
-        | Error Frame.Eof -> ()
-        | Error e ->
-          (* framing damage desynchronizes the stream: answer once, close *)
-          Atomic.incr t.malformed;
-          Obs.Metrics.incr "service.malformed";
-          ignore
-            (write_response fd
-               (Response.error ~id:None ~code:"bad-frame"
-                  (Frame.error_to_string e)))
-        | Ok payload ->
-          let response =
-            match Json.of_string payload with
-            | Error msg ->
-              Atomic.incr t.malformed;
-              Obs.Metrics.incr "service.malformed";
-              Response.error ~id:None ~code:"bad-json" msg
-            | Ok doc -> (
-              match Request.of_json doc with
-              | Error msg ->
-                Atomic.incr t.malformed;
-                Obs.Metrics.incr "service.malformed";
-                let id = Option.bind (Json.member "id" doc) Json.to_int_opt in
-                Response.error ~id ~code:"bad-request" msg
-              | Ok req ->
-                Atomic.incr t.requests;
-                Dispatch.handle t.dispatch req)
+(* The loop-side request path.  Everything here must be cheap: parse the
+   document, route it, and either answer in place (hits, cheap ops,
+   errors) or park it in the pool. *)
+let on_payload t conn payload =
+  match Json.of_string payload with
+  | Error msg -> Evloop.Now (malformed_doc t ~id:None "bad-json" msg)
+  | Ok doc -> (
+    match Request.of_json doc with
+    | Error msg ->
+      let id = Option.bind (Json.member "id" doc) Json.to_int_opt in
+      Evloop.Now (malformed_doc t ~id "bad-request" msg)
+    | Ok req -> (
+      Atomic.incr t.requests;
+      match Dispatch.route t.dispatch req with
+      | Dispatch.Answered doc ->
+        Atomic.incr t.direct;
+        Obs.Metrics.incr "service.loop.direct";
+        Evloop.Now doc
+      | Dispatch.Deferred run -> (
+        let id = Some req.Request.id in
+        let job () =
+          (* [run] never raises; the catch-all keeps a parked connection
+             from being orphaned even if that contract breaks *)
+          let doc =
+            try run ()
+            with exn -> err_doc ~id "internal" (Printexc.to_string exn)
           in
-          if write_response fd response then loop ())
-  in
-  Fun.protect
-    (fun () -> loop ())
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          Evloop.post t.evloop conn doc
+        in
+        match Pool.submit t.pool job with
+        | Pool.Accepted -> Evloop.Later
+        | Pool.Overloaded ->
+          Atomic.incr t.refused;
+          Obs.Metrics.incr "service.refused";
+          Evloop.Now
+            (err_doc ~id "overloaded"
+               "job queue full; retry later or raise --queue-cap")
+        | Pool.Shutting_down ->
+          Atomic.incr t.refused;
+          Obs.Metrics.incr "service.refused";
+          Evloop.Now (err_doc ~id "shutting-down" "daemon is draining"))))
 
-let refuse t fd code msg =
-  Atomic.incr t.refused;
-  Obs.Metrics.incr "service.refused";
-  ignore (write_response fd (Response.error ~id:None ~code msg));
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let accept_loop t =
-  let rec loop () =
-    if Atomic.get t.stop then ()
-    else
-      match Unix.select [ t.lsock ] [] [] poll_interval with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | [], _, _ -> loop ()
-      | _ -> (
-        match Unix.accept ~cloexec:true t.lsock with
-        | exception Unix.Unix_error _ -> loop ()
-        | fd, peer ->
-          Atomic.incr t.connections;
-          log t "service: connection from %s"
-            (match peer with
-             | Unix.ADDR_INET (a, p) ->
-               Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
-             | Unix.ADDR_UNIX p -> p);
-          (match Pool.submit t.pool (fun () -> handle_conn t fd) with
-           | Pool.Accepted -> ()
-           | Pool.Overloaded ->
-             refuse t fd "overloaded"
-               "job queue full; retry later or raise --queue-cap"
-           | Pool.Shutting_down ->
-             refuse t fd "shutting-down" "daemon is draining");
-          loop ())
-  in
-  loop ();
-  (try Unix.close t.lsock with Unix.Unix_error _ -> ())
+let on_frame_error t e =
+  Atomic.incr t.malformed;
+  Obs.Metrics.incr "service.malformed";
+  Some (err_doc ~id:None "bad-frame" (Frame.error_to_string e))
 
 let start config =
+  let store =
+    match config.store_path with
+    | None -> None
+    | Some path -> (
+      match Store.open_ ~fsync:config.store_fsync path with
+      | Ok st -> Some st
+      | Error msg -> failwith ("witness store: " ^ msg))
+  in
   let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
   (try
      Unix.bind lsock
        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port))
-   with e -> (try Unix.close lsock with Unix.Unix_error _ -> ()); raise e);
+   with e ->
+     (try Unix.close lsock with Unix.Unix_error _ -> ());
+     (match store with Some st -> Store.close st | None -> ());
+     raise e);
   Unix.listen lsock 64;
   let bound_port =
     match Unix.getsockname lsock with
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
+  let evloop = Evloop.create ~lsock in
   (* the dispatcher's stats hook needs the server record, which needs the
      dispatcher: tie the knot through a ref *)
   let stats_hook = ref (fun () -> []) in
@@ -156,39 +140,52 @@ let start config =
       ?default_deadline:config.request_deadline
       ?default_max_nodes:config.max_nodes
       ~extra_stats:(fun () -> !stats_hook ())
-      ()
+      ?store ()
   in
   let pool = Pool.create ~workers:config.workers ~queue_cap:config.queue_cap in
   let stop = Atomic.make false in
   let t =
     {
       config;
-      lsock;
       bound_port;
       stop;
       pool;
       dispatch;
-      accept_domain = None;
+      store;
+      evloop;
+      loop_domain = None;
       started_at = Unix.gettimeofday ();
-      connections = Atomic.make 0;
       requests = Atomic.make 0;
       malformed = Atomic.make 0;
       refused = Atomic.make 0;
+      direct = Atomic.make 0;
       waited = false;
     }
   in
-  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t.loop_domain <-
+    Some
+      (Domain.spawn (fun () ->
+           Evloop.run evloop
+             ~stop:(fun () -> Atomic.get stop)
+             ~on_payload:(on_payload t) ~on_frame_error:(on_frame_error t)));
   stats_hook :=
     (fun () ->
       [
         ("queue_depth", Json.Int (Pool.queue_depth t.pool));
         ("workers", Json.Int (Pool.workers t.pool));
-        ("connections", Json.Int (Atomic.get t.connections));
+        ("connections", Json.Int (Evloop.accepted t.evloop));
+        ("open_connections", Json.Int (Evloop.open_conns t.evloop));
+        ("loop_iterations", Json.Int (Evloop.iterations t.evloop));
+        ("direct", Json.Int (Atomic.get t.direct));
         ("requests", Json.Int (Atomic.get t.requests));
         ("malformed", Json.Int (Atomic.get t.malformed));
         ("refused", Json.Int (Atomic.get t.refused));
         ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
       ]);
+  log t "service: listening on %s:%d%s" config.host bound_port
+    (match config.store_path with
+     | Some p -> Printf.sprintf " (store %s)" p
+     | None -> "");
   t
 
 let port t = t.bound_port
@@ -198,8 +195,11 @@ let stopping t = Atomic.get t.stop
 let wait t =
   if not t.waited then begin
     t.waited <- true;
-    (match t.accept_domain with Some d -> Domain.join d | None -> ());
-    Pool.shutdown t.pool
+    (* order matters: the loop's drain waits for parked answers, which
+       come from pool workers — join the loop before stopping the pool *)
+    (match t.loop_domain with Some d -> Domain.join d | None -> ());
+    Pool.shutdown t.pool;
+    match t.store with Some st -> Store.close st | None -> ()
   end
 
 let stop t =
@@ -213,49 +213,60 @@ type summary = {
   requests : int;
   malformed : int;
   refused : int;
+  direct : int;
   job_errors : int;
   cache : Ts_core.Cache.stats;
+  store : Store.stats option;
   uptime : float;
 }
 
 let summary (t : t) =
   {
-    connections = Atomic.get t.connections;
+    connections = Evloop.accepted t.evloop;
     requests = Atomic.get t.requests;
     malformed = Atomic.get t.malformed;
     refused = Atomic.get t.refused;
+    direct = Atomic.get t.direct;
     job_errors = Pool.job_errors t.pool;
     cache = Dispatch.cache_stats t.dispatch;
+    store = Dispatch.store_stats t.dispatch;
     uptime = Unix.gettimeofday () -. t.started_at;
   }
 
 let summary_to_json s =
   Json.Obj
-    [
-      ("connections", Json.Int s.connections);
-      ("requests", Json.Int s.requests);
-      ("malformed", Json.Int s.malformed);
-      ("refused", Json.Int s.refused);
-      ("job_errors", Json.Int s.job_errors);
-      ("cache",
-       Json.Obj
-         [
-           ("hits", Json.Int s.cache.Ts_core.Cache.hits);
-           ("misses", Json.Int s.cache.Ts_core.Cache.misses);
-           ("evictions", Json.Int s.cache.Ts_core.Cache.evictions);
-           ("entries", Json.Int s.cache.Ts_core.Cache.entries);
-         ]);
-      ("uptime_s", Json.Float s.uptime);
-    ]
+    ([
+       ("connections", Json.Int s.connections);
+       ("requests", Json.Int s.requests);
+       ("malformed", Json.Int s.malformed);
+       ("refused", Json.Int s.refused);
+       ("direct", Json.Int s.direct);
+       ("job_errors", Json.Int s.job_errors);
+       ("cache",
+        Json.Obj
+          [
+            ("hits", Json.Int s.cache.Ts_core.Cache.hits);
+            ("misses", Json.Int s.cache.Ts_core.Cache.misses);
+            ("evictions", Json.Int s.cache.Ts_core.Cache.evictions);
+            ("entries", Json.Int s.cache.Ts_core.Cache.entries);
+          ]);
+     ]
+    @ (match s.store with
+       | None -> []
+       | Some st -> [ ("store", Response.store_stats_to_json st) ])
+    @ [ ("uptime_s", Json.Float s.uptime) ])
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "served %d request%s on %d connection%s in %.1fs (%d malformed, %d \
-     refused, %d handler error%s)@.cache: %a"
+    "served %d request%s (%d direct) on %d connection%s in %.1fs (%d \
+     malformed, %d refused, %d handler error%s)@.cache: %a"
     s.requests
     (if s.requests = 1 then "" else "s")
-    s.connections
+    s.direct s.connections
     (if s.connections = 1 then "" else "s")
     s.uptime s.malformed s.refused s.job_errors
     (if s.job_errors = 1 then "" else "s")
-    Ts_core.Cache.pp_stats s.cache
+    Ts_core.Cache.pp_stats s.cache;
+  match s.store with
+  | None -> ()
+  | Some st -> Format.fprintf ppf "@.store: %a" Store.pp_stats st

@@ -1,0 +1,44 @@
+(* CRC-32 (IEEE), table-driven, reflected form.  The table is computed
+   once at module initialization: 256 entries of the standard reflected
+   polynomial 0xedb88320. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xedb88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xffffffffl
+let finish crc = Int32.logxor crc 0xffffffffl
+
+let feed crc byte =
+  let t = Lazy.force table in
+  Int32.logxor
+    t.(Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xffl))
+    (Int32.shift_right_logical crc 8)
+
+let update crc b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.update";
+  let crc = ref crc in
+  for i = off to off + len - 1 do
+    crc := feed !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  !crc
+
+let update_string crc s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.update_string";
+  let crc = ref crc in
+  for i = off to off + len - 1 do
+    crc := feed !crc (Char.code (String.unsafe_get s i))
+  done;
+  !crc
+
+let string s = finish (update_string init s 0 (String.length s))

@@ -20,8 +20,10 @@ open Ts_model
 module Registry = Ts_analysis.Registry
 module Dispatch = Ts_service.Dispatch
 module Request = Ts_service.Request
+module Store = Ts_store.Store
 
 let bump_hint = "digest changed — bump Ts_service.Dispatch.cache_version and refresh goldens: "
+let store_bump_hint = "on-disk layout changed — bump Ts_store.Store.store_version and refresh goldens: "
 
 (* Golden digests of Config.initial over each registry entry's first
    declared input vector. *)
@@ -121,6 +123,34 @@ let test_request_digest_sensitivity () =
   Alcotest.(check string) "id is NOT cache-key material" (key base)
     (key { base with Request.id = 424242 })
 
+(* The witness log's byte layout is cache-key discipline extended to disk:
+   a log written by one build must be readable (or loudly refused) by the
+   next.  [header_bytes] and [record_bytes] are pure functions of the
+   format, so pinning their hex pins the layout; any intentional change
+   must bump Store.store_version so old logs are refused, not misread. *)
+
+let hex s =
+  String.concat ""
+    (List.map
+       (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.init (String.length s) (String.get s)))
+
+let test_store_version_pinned () =
+  Alcotest.(check int) "Store.store_version matches the goldens" 1
+    Store.store_version
+
+let test_store_header_bytes () =
+  Alcotest.(check string) (store_bump_hint ^ "file header")
+    "54535749544c4f470100000000000000"
+    (hex Store.header_bytes)
+
+let test_store_record_bytes () =
+  (* pins the full record framing: LE u32 lengths, zlib-compatible CRC-32
+     over lengths‖key‖value, then the raw payloads *)
+  Alcotest.(check string) (store_bump_hint ^ "record encoding")
+    "010000000d0000006bcc9ae26b7b22706f6e67223a747275657d"
+    (hex (Store.record_bytes ~key:"k" ~value:"{\"pong\":true}"))
+
 let suite =
   ( "digest-stability",
     [
@@ -130,4 +160,9 @@ let suite =
       Alcotest.test_case "witness-request cache keys" `Quick test_request_digests;
       Alcotest.test_case "key sensitivity (and budget exclusion)" `Quick
         test_request_digest_sensitivity;
+      Alcotest.test_case "store_version pinned to goldens" `Quick
+        test_store_version_pinned;
+      Alcotest.test_case "store file header bytes" `Quick test_store_header_bytes;
+      Alcotest.test_case "store record encoding bytes" `Quick
+        test_store_record_bytes;
     ] )

@@ -62,6 +62,46 @@ let test_frame_errors () =
       | Frame.Truncated short -> Alcotest.(check int) "bytes short" 7 short
       | e -> Alcotest.failf "expected Truncated, got %s" (Frame.error_to_string e))
 
+let test_frame_parse_incremental () =
+  (* the event loop's half: one frame delivered a few bytes at a time *)
+  let payload = "{\"op\":\"ping\"}" in
+  let wire = string_of_int (String.length payload) ^ "\n" ^ payload in
+  let buf = Bytes.create 64 in
+  let fed = ref 0 in
+  let result = ref None in
+  while !result = None && !fed < String.length wire do
+    Bytes.blit_string wire !fed buf !fed 1;
+    incr fed;
+    match Frame.parse buf ~pos:0 ~len:!fed with
+    | `Need_more -> ()
+    | `Frame (off, n) -> result := Some (Bytes.sub_string buf off n)
+    | `Error e -> Alcotest.failf "unexpected error: %s" (Frame.error_to_string e)
+  done;
+  Alcotest.(check (option string)) "payload found exactly at the last byte"
+    (Some payload) !result;
+  Alcotest.(check int) "and not a byte earlier" (String.length wire) !fed;
+  (* two pipelined frames parse back-to-back from one buffer *)
+  let two = wire ^ wire in
+  let b = Bytes.of_string two in
+  (match Frame.parse b ~pos:0 ~len:(String.length two) with
+   | `Frame (off, n) -> (
+     Alcotest.(check string) "first frame" payload (Bytes.sub_string b off n);
+     match Frame.parse b ~pos:(off + n) ~len:(String.length two) with
+     | `Frame (off2, n2) ->
+       Alcotest.(check string) "second frame" payload (Bytes.sub_string b off2 n2)
+     | _ -> Alcotest.fail "second frame not found")
+   | _ -> Alcotest.fail "first frame not found");
+  (* grammar errors surface as errors, not hangs *)
+  (match Frame.parse (Bytes.of_string "notanumber\n") ~pos:0 ~len:11 with
+   | `Error (Frame.Bad_length _) -> ()
+   | _ -> Alcotest.fail "expected Bad_length");
+  let oversize = string_of_int (Frame.max_frame_bytes + 1) ^ "\n" in
+  match
+    Frame.parse (Bytes.of_string oversize) ~pos:0 ~len:(String.length oversize)
+  with
+  | `Error (Frame.Too_large _) -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
 (* --- the JSON reader --------------------------------------------------- *)
 
 let test_json_parse () =
@@ -317,11 +357,106 @@ let test_e2e_concurrent_clients () =
   Alcotest.(check bool) "cache served repeats" true
     (stats.Ts_core.Cache.hits > 0)
 
+(* --- persistence across restarts ---------------------------------------- *)
+
+let test_e2e_restart_recovers () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tswitlog-e2e-%d.log" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let with_store_server f =
+    let server =
+      Server.start
+        { Server.default_config with Server.port = 0; store_path = Some path }
+    in
+    Fun.protect (fun () -> f server) ~finally:(fun () -> Server.stop server)
+  in
+  let result doc =
+    match Json.member "result" doc with
+    | Some r -> Json.to_string r
+    | None -> Alcotest.fail "response carries no result"
+  in
+  (* first daemon: compute and persist *)
+  let fresh_body =
+    with_store_server @@ fun server ->
+    let conn = Client.connect ~port:(Server.port server) () in
+    Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+    let cold = rpc_ok conn (Request.to_json witness_req) in
+    Alcotest.(check (option string)) "first answer fresh" (Some "fresh")
+      (member_str "provenance" cold);
+    let s = Server.summary server in
+    (match s.Server.store with
+     | None -> Alcotest.fail "no store stats on a store-backed server"
+     | Some st ->
+       Alcotest.(check int) "answer persisted" 1 st.Ts_store.Store.records);
+    result cold
+  in
+  (* second daemon, same log: the answer must come back from disk,
+     byte-identical, without recomputation *)
+  with_store_server @@ fun server ->
+  let conn = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let back = rpc_ok conn (Request.to_json witness_req) in
+  Alcotest.(check (option string)) "served from the log" (Some "recovered")
+    (member_str "provenance" back);
+  Alcotest.(check string) "recovered result byte-identical to fresh" fresh_body
+    (result back);
+  (* now it is in the memory tier: the next hit is a plain cache hit *)
+  let warm = rpc_ok conn (Request.to_json witness_req) in
+  Alcotest.(check (option string)) "then cached" (Some "cached")
+    (member_str "provenance" warm);
+  Alcotest.(check string) "cached agrees too" fresh_body (result warm);
+  match (Server.summary server).Server.store with
+  | None -> Alcotest.fail "no store stats"
+  | Some st ->
+    Alcotest.(check int) "log replayed at open" 1 st.Ts_store.Store.recovered
+
+(* --- pipelining ---------------------------------------------------------- *)
+
+let test_e2e_pipelined_ordering () =
+  (* a burst of frames sent before reading anything: responses must come
+     back exactly in request order, even though some are answered on the
+     loop and some by a worker *)
+  with_server @@ fun server ->
+  let conn = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let frame doc =
+    let s = Json.to_string doc in
+    string_of_int (String.length s) ^ "\n" ^ s
+  in
+  let reqs =
+    [
+      { witness_req with Request.id = 1 } (* deferred: engine computation *);
+      { Request.defaults with Request.id = 2 } (* direct: ping *);
+      { witness_req with Request.id = 3 } (* direct once 1 is cached *);
+      { Request.defaults with Request.id = 4 };
+    ]
+  in
+  Client.send_raw conn
+    (String.concat "" (List.map (fun r -> frame (Request.to_json r)) reqs));
+  List.iter
+    (fun (r : Request.t) ->
+      match Client.recv conn with
+      | Error e -> Alcotest.failf "pipelined recv: %s" e
+      | Ok doc ->
+        Alcotest.(check bool)
+          (Printf.sprintf "response %d in order" r.Request.id)
+          true
+          (Json.member "id" doc = Some (Json.Int r.Request.id)))
+    reqs
+
 let suite =
   ( "service",
     [
       Alcotest.test_case "frame round trip" `Quick test_frame_roundtrip;
       Alcotest.test_case "frame error taxonomy" `Quick test_frame_errors;
+      Alcotest.test_case "frame incremental parse" `Quick
+        test_frame_parse_incremental;
       Alcotest.test_case "json reader" `Quick test_json_parse;
       Alcotest.test_case "json round trips the emitter" `Quick test_json_roundtrip_emitter;
       Alcotest.test_case "request wire round trip" `Quick test_request_roundtrip;
@@ -338,4 +473,8 @@ let suite =
         test_e2e_malformed_survival;
       Alcotest.test_case "e2e: concurrent clients agree" `Quick
         test_e2e_concurrent_clients;
+      Alcotest.test_case "e2e: restart recovers answers from the store" `Quick
+        test_e2e_restart_recovers;
+      Alcotest.test_case "e2e: pipelined responses keep request order" `Quick
+        test_e2e_pipelined_ordering;
     ] )

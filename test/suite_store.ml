@@ -1,0 +1,239 @@
+(* The persistent witness store: format, recovery, durability glue.
+
+   The store's contract is the serving story's differential guarantee made
+   durable: an answer read back from disk must be the exact bytes that
+   were appended, across process restarts and across a torn tail cut.
+   These tests exercise the format edges a daemon restart meets in anger —
+   clean replay, idempotent re-append, a mid-record crash, checksum
+   damage, a foreign or future-versioned file — plus the QCheck property
+   that replay recovers exactly what was appended, whatever the corpus. *)
+
+open Ts_model
+module Store = Ts_store.Store
+module Cache = Ts_core.Cache
+
+let tmp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tswitlog-test-%d-%d.log" (Unix.getpid ()) !n)
+
+let with_log f =
+  let path = tmp_path () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let open_ok ?fsync path =
+  match Store.open_ ?fsync path with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "open_ %s: %s" path msg
+
+let key_of s = Ckey.of_string s
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+(* append through reopen: every record comes back byte-identical *)
+let test_roundtrip () =
+  with_log @@ fun path ->
+  let pairs =
+    [
+      ("k1", "{\"verdict\":\"clean\"}");
+      ("key-two", String.make 1000 'x');
+      ("\x00\x01\xff", "binary-safe value \x00\xff");
+    ]
+  in
+  let t = open_ok path in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check bool) "append is fresh" true
+        (Store.append t ~key:(key_of k) ~value:v))
+    pairs;
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) "find before close" (Some v)
+        (Store.find t (key_of k)))
+    pairs;
+  let s = Store.stats t in
+  Alcotest.(check int) "records" 3 s.Store.records;
+  Alcotest.(check int) "appends" 3 s.Store.appends;
+  Store.close t;
+  (* reopen: index rebuilt from disk *)
+  let t = open_ok path in
+  let s = Store.stats t in
+  Alcotest.(check int) "recovered" 3 s.Store.recovered;
+  Alcotest.(check int) "no torn tail" 0 s.Store.torn_truncations;
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) "find after reopen" (Some v)
+        (Store.find t (key_of k)))
+    pairs;
+  Alcotest.(check bool) "mem hit" true (Store.mem t (key_of "k1"));
+  Alcotest.(check bool) "mem miss" false (Store.mem t (key_of "absent"));
+  Store.close t
+
+let test_idempotent_append () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  ignore (Store.append t ~key:(key_of "k") ~value:"v1");
+  let size1 = (Store.stats t).Store.bytes in
+  Alcotest.(check bool) "second append is a no-op" false
+    (Store.append t ~key:(key_of "k") ~value:"v2");
+  Alcotest.(check int) "no bytes written" size1 (Store.stats t).Store.bytes;
+  Alcotest.(check (option string)) "first value wins" (Some "v1")
+    (Store.find t (key_of "k"));
+  Store.close t
+
+(* a crash mid-append loses at most the record being appended *)
+let test_torn_tail_truncated () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  ignore (Store.append t ~key:(key_of "a") ~value:"alpha");
+  ignore (Store.append t ~key:(key_of "b") ~value:"beta");
+  let good = (Store.stats t).Store.bytes in
+  ignore (Store.append t ~key:(key_of "c") ~value:"gamma");
+  let full = (Store.stats t).Store.bytes in
+  Store.close t;
+  (* tear the last record: drop its final 3 bytes *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Unix.ftruncate fd (full - 3);
+  Unix.close fd;
+  let t = open_ok path in
+  let s = Store.stats t in
+  Alcotest.(check int) "one truncation" 1 s.Store.torn_truncations;
+  Alcotest.(check int) "tail cut back to the last valid record" good
+    s.Store.bytes;
+  Alcotest.(check int) "torn bytes counted" (full - 3 - good) s.Store.torn_bytes;
+  Alcotest.(check int) "survivors recovered" 2 s.Store.recovered;
+  Alcotest.(check (option string)) "survivor byte-identical" (Some "alpha")
+    (Store.find t (key_of "a"));
+  Alcotest.(check (option string)) "torn record gone" None
+    (Store.find t (key_of "c"));
+  (* the log must accept appends again on the clean boundary *)
+  Alcotest.(check bool) "append after recovery" true
+    (Store.append t ~key:(key_of "c") ~value:"gamma2");
+  Alcotest.(check (option string)) "re-appended record served" (Some "gamma2")
+    (Store.find t (key_of "c"));
+  Store.close t;
+  Alcotest.(check int) "file physically truncated" good
+    (file_size path
+    - String.length (Store.record_bytes ~key:"c" ~value:"gamma2"))
+
+let test_crc_damage_drops_tail () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  ignore (Store.append t ~key:(key_of "a") ~value:"alpha");
+  let good = (Store.stats t).Store.bytes in
+  ignore (Store.append t ~key:(key_of "b") ~value:"beta");
+  Store.close t;
+  (* flip one byte inside the second record's value *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (file_size path - 1) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1);
+  Unix.close fd;
+  let t = open_ok path in
+  let s = Store.stats t in
+  Alcotest.(check int) "checksum damage truncates" 1 s.Store.torn_truncations;
+  Alcotest.(check int) "only the intact prefix survives" 1 s.Store.recovered;
+  Alcotest.(check int) "size back at the damage boundary" good s.Store.bytes;
+  Alcotest.(check (option string)) "intact record unharmed" (Some "alpha")
+    (Store.find t (key_of "a"));
+  Store.close t
+
+let test_foreign_and_future_files_refused () =
+  with_log @@ fun path ->
+  (* not a witness log at all *)
+  let oc = open_out_bin path in
+  output_string oc "definitely not a log with enough bytes to have a header";
+  close_out oc;
+  (match Store.open_ path with
+   | Error msg ->
+     Alcotest.(check bool) "bad magic named" true
+       (String.length msg > 0)
+   | Ok _ -> Alcotest.fail "opened a foreign file");
+  (* right magic, wrong version *)
+  let oc = open_out_bin path in
+  output_string oc Store.magic;
+  output_string oc "\x63\x00\x00\x00\x00\x00\x00\x00" (* version 99 *);
+  close_out oc;
+  match Store.open_ path with
+  | Error msg ->
+    Alcotest.(check bool) "version mismatch diagnosed" true
+      (let has_sub hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       has_sub msg "version 99")
+  | Ok _ -> Alcotest.fail "opened a future-versioned file"
+
+(* the cache glue: write-through persists, warm-load does not re-persist *)
+let test_write_through_cache () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  let cache = Cache.create ~capacity:16 () in
+  Cache.set_write_through cache (fun key value ->
+      ignore (Store.append t ~key ~value));
+  Cache.put cache (key_of "k") "persisted";
+  Alcotest.(check (option string)) "write-through reached the log"
+    (Some "persisted")
+    (Store.find t (key_of "k"));
+  let appends_before = (Store.stats t).Store.appends in
+  Cache.put ~write_through:false cache (key_of "k2") "memory-only";
+  Alcotest.(check int) "warm-load insert skipped the log" appends_before
+    (Store.stats t).Store.appends;
+  Alcotest.(check (option string)) "but is served from memory"
+    (Some "memory-only")
+    (Cache.find cache (key_of "k2"));
+  Store.close t
+
+(* QCheck: replay(append xs) == xs for arbitrary corpora *)
+let prop_replay_recovers =
+  let gen =
+    QCheck.(
+      small_list (pair (string_of_size (Gen.int_range 1 40)) printable_string))
+  in
+  QCheck.Test.make ~name:"store: reopen recovers exactly what was appended"
+    ~count:60 gen (fun pairs ->
+      (* distinct, non-empty keys: the log is content-addressed *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          if String.length k > 0 && not (Hashtbl.mem tbl k) then
+            Hashtbl.add tbl k v)
+        pairs;
+      let path = tmp_path () in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let t = open_ok ~fsync:Store.Never path in
+          Hashtbl.iter
+            (fun k v -> ignore (Store.append t ~key:(key_of k) ~value:v))
+            tbl;
+          Store.close t;
+          let t = open_ok ~fsync:Store.Never path in
+          let ok = ref ((Store.stats t).Store.records = Hashtbl.length tbl) in
+          Hashtbl.iter
+            (fun k v ->
+              if Store.find t (key_of k) <> Some v then ok := false)
+            tbl;
+          Store.close t;
+          !ok))
+
+let suite =
+  ( "store",
+    [
+      Alcotest.test_case "roundtrip through reopen" `Quick test_roundtrip;
+      Alcotest.test_case "idempotent append" `Quick test_idempotent_append;
+      Alcotest.test_case "torn tail truncated, survivors served" `Quick
+        test_torn_tail_truncated;
+      Alcotest.test_case "checksum damage drops the tail" `Quick
+        test_crc_damage_drops_tail;
+      Alcotest.test_case "foreign and future files refused" `Quick
+        test_foreign_and_future_files_refused;
+      Alcotest.test_case "write-through cache glue" `Quick
+        test_write_through_cache;
+      QCheck_alcotest.to_alcotest prop_replay_recovers;
+    ] )
