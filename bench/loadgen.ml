@@ -87,6 +87,17 @@ let pp_latency name s =
     "  %-12s %6d samples in %6.2fs  p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  max %8.3fms@."
     name s.samples s.elapsed s.p50 s.p90 s.p99 s.max
 
+let latency_json s =
+  Json.Obj
+    [
+      ("samples", Json.Int s.samples);
+      ("elapsed_s", Json.Float s.elapsed);
+      ("p50_ms", Json.Float s.p50);
+      ("p90_ms", Json.Float s.p90);
+      ("p99_ms", Json.Float s.p99);
+      ("max_ms", Json.Float s.max);
+    ]
+
 (* One timed request over an open connection; the response must be ok. *)
 let timed_rpc conn req =
   let t0 = Unix.gettimeofday () in
@@ -101,7 +112,7 @@ let timed_rpc conn req =
 (* A sync pass capturing the "provenance" and "result" of each query —
    the differential material. *)
 let provenance_pass port queries =
-  let conn = Client.connect ~port () in
+  let conn = Client.connect_exn ~port () in
   Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
   List.map
     (fun q ->
@@ -122,7 +133,7 @@ let provenance_pass port queries =
     queries
 
 let run_cold port queries =
-  let conn = Client.connect ~port () in
+  let conn = Client.connect_exn ~port () in
   let t0 = Unix.gettimeofday () in
   let lats = List.map (fun q -> timed_rpc conn q) queries in
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -136,7 +147,7 @@ let run_latency port queries ~clients ~rounds =
   let workers =
     Array.init clients (fun _ ->
         Domain.spawn (fun () ->
-            let conn = Client.connect ~port () in
+            let conn = Client.connect_exn ~port () in
             let lats = ref [] in
             for _ = 1 to rounds do
               List.iter (fun q -> lats := timed_rpc conn q :: !lats) queries
@@ -244,18 +255,228 @@ let pp_throughput name s =
   Format.printf "  %-12s %7d pipelined requests in %6.2fs  (%9.1f req/s)@." name
     s.tput_requests s.tput_elapsed s.rps
 
-(* ---- reporting --------------------------------------------------------- *)
+(* ---- chaos mode (experiment E23) --------------------------------------- *)
 
-let latency_json s =
-  Json.Obj
-    [
-      ("samples", Json.Int s.samples);
-      ("elapsed_s", Json.Float s.elapsed);
-      ("p50_ms", Json.Float s.p50);
-      ("p90_ms", Json.Float s.p90);
-      ("p99_ms", Json.Float s.p99);
-      ("max_ms", Json.Float s.max);
-    ]
+module Chaos = Ts_service.Chaos
+
+(* Aggregated resilient-client counters across the worker domains. *)
+let sum_client_stats stats_list =
+  List.fold_left
+    (fun acc (s : Client.stats) ->
+      {
+        Client.calls = acc.Client.calls + s.Client.calls;
+        attempts_made = acc.Client.attempts_made + s.Client.attempts_made;
+        retries = acc.Client.retries + s.Client.retries;
+        reconnects = acc.Client.reconnects + s.Client.reconnects;
+        timeouts = acc.Client.timeouts + s.Client.timeouts;
+        conn_resets = acc.Client.conn_resets + s.Client.conn_resets;
+        parse_errors = acc.Client.parse_errors + s.Client.parse_errors;
+        connect_errors = acc.Client.connect_errors + s.Client.connect_errors;
+        server_busy = acc.Client.server_busy + s.Client.server_busy;
+        retry_after_honored =
+          acc.Client.retry_after_honored + s.Client.retry_after_honored;
+        breaker_opens = acc.Client.breaker_opens + s.Client.breaker_opens;
+      })
+    {
+      Client.calls = 0; attempts_made = 0; retries = 0; reconnects = 0;
+      timeouts = 0; conn_resets = 0; parse_errors = 0; connect_errors = 0;
+      server_busy = 0; retry_after_honored = 0; breaker_opens = 0;
+    }
+    stats_list
+
+(* Drive the query mix through the chaos proxy with resilient clients and
+   demand 100% eventual success with answers byte-identical to a
+   fault-free baseline.  The proxy may reset, truncate, corrupt, delay
+   and throttle; the retry layer must absorb all of it. *)
+let chaos_main ~clients ~rounds ~mix ~seed ~fault_prob ~class_spec ~json_file =
+  let queries = make_queries mix in
+  let classes =
+    match Chaos.classes_of_string class_spec with
+    | Ok c -> c
+    | Error msg ->
+      prerr_endline ("loadgen: --chaos-classes: " ^ msg);
+      exit 2
+  in
+  let store_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tightspace-chaos-%d.log" (Unix.getpid ()))
+  in
+  (try Sys.remove store_path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove store_path with Sys_error _ -> ())
+  @@ fun () ->
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      workers = clients;
+      store_path = Some store_path;
+    }
+  in
+  let server = Server.start config in
+  let port = Server.port server in
+  (* fault-free baseline over a direct connection: the reference bodies
+     every answer delivered through the proxy must match byte for byte *)
+  let baseline = Array.of_list (List.map snd (provenance_pass port queries)) in
+  let proxy =
+    Chaos.start
+      { (Chaos.default_config ~upstream_port:port) with seed; fault_prob; classes }
+  in
+  let pport = Chaos.port proxy in
+  Format.printf
+    "loadgen --chaos: daemon on 127.0.0.1:%d behind chaos proxy on :%d (seed \
+     %d, fault-prob %.2f, classes %s)@."
+    port pport seed fault_prob
+    (Chaos.classes_to_string classes);
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    Array.init clients (fun w ->
+        Domain.spawn (fun () ->
+            (* generous attempt budget: a call may only fail once the
+               whole budget is spent, and chaos CI demands zero of those *)
+            let policy =
+              {
+                Client.default_policy with
+                attempts = 12;
+                seed = seed + (7919 * (w + 1));
+              }
+            in
+            let cl = Client.make ~policy ~port:pport () in
+            let ok = ref 0 and failed = ref 0 and mismatched = ref 0 in
+            let lats = ref [] in
+            for _ = 1 to rounds do
+              List.iteri
+                (fun i q ->
+                  let c0 = Unix.gettimeofday () in
+                  (match Client.call cl (Request.to_json q) with
+                   | Error _ -> incr failed
+                   | Ok doc -> (
+                     match (Json.member "ok" doc, Json.member "result" doc) with
+                     | Some (Json.Bool true), Some r
+                       when Json.to_string r = baseline.(i) ->
+                       incr ok
+                     | Some (Json.Bool true), _ -> incr mismatched
+                     | _ -> incr failed));
+                  (* call latency includes every retry and backoff sleep:
+                     the price of eventual success, not of one attempt *)
+                  lats := ((Unix.gettimeofday () -. c0) *. 1000.) :: !lats)
+                queries
+            done;
+            let stats = Client.stats cl in
+            Client.shutdown cl;
+            (!ok, !failed, !mismatched, stats, !lats)))
+  in
+  let per_worker = Array.to_list workers |> List.map Domain.join in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Chaos.stop proxy;
+  let pstats = Chaos.stats proxy in
+  let events = Chaos.events proxy in
+  Server.stop server;
+  let ok = List.fold_left (fun a (k, _, _, _, _) -> a + k) 0 per_worker in
+  let failed = List.fold_left (fun a (_, k, _, _, _) -> a + k) 0 per_worker in
+  let mismatched =
+    List.fold_left (fun a (_, _, k, _, _) -> a + k) 0 per_worker
+  in
+  let cs = sum_client_stats (List.map (fun (_, _, _, s, _) -> s) per_worker) in
+  let lat =
+    latency_stats
+      (List.concat_map (fun (_, _, _, _, l) -> l) per_worker)
+      elapsed
+  in
+  let calls = ok + failed + mismatched in
+  let success_rate =
+    if calls = 0 then 0. else 100. *. float_of_int ok /. float_of_int calls
+  in
+  Format.printf
+    "  %d calls from %d clients in %.2fs: %d ok, %d failed, %d mismatched \
+     (eventual success %.2f%%)@."
+    calls clients elapsed ok failed mismatched success_rate;
+  Format.printf
+    "  client: %d attempts, %d retries, %d reconnects (resets %d, timeouts \
+     %d, parse %d, connect %d, busy %d, retry-after honored %d, breaker \
+     opens %d)@."
+    cs.Client.attempts_made cs.Client.retries cs.Client.reconnects
+    cs.Client.conn_resets cs.Client.timeouts cs.Client.parse_errors
+    cs.Client.connect_errors cs.Client.server_busy
+    cs.Client.retry_after_honored cs.Client.breaker_opens;
+  pp_latency "chaos" lat;
+  Format.printf "  proxy: %a@." Chaos.pp_stats pstats;
+  List.iteri
+    (fun i e -> if i < 3 then Format.printf "    e.g. %s@." e)
+    events;
+  (match json_file with
+   | None -> ()
+   | Some file ->
+     let doc =
+       Json.Obj
+         [
+           ("harness", Json.Str "tightspace-loadgen");
+           ("experiment",
+            Json.Str
+              "E23 chaos: resilient client through a fault-injecting proxy");
+           ("seed", Json.Int seed);
+           ("fault_prob", Json.Float fault_prob);
+           ("classes", Json.Str (Chaos.classes_to_string classes));
+           ("clients", Json.Int clients);
+           ("rounds", Json.Int rounds);
+           ("query_mix", Json.Int (List.length queries));
+           ("elapsed_s", Json.Float elapsed);
+           ("calls", Json.Int calls);
+           ("ok", Json.Int ok);
+           ("failed", Json.Int failed);
+           ("mismatched", Json.Int mismatched);
+           ("eventual_success_pct", Json.Float success_rate);
+           ("latency", latency_json lat);
+           ("client",
+            Json.Obj
+              [
+                ("attempts", Json.Int cs.Client.attempts_made);
+                ("retries", Json.Int cs.Client.retries);
+                ("reconnects", Json.Int cs.Client.reconnects);
+                ("timeouts", Json.Int cs.Client.timeouts);
+                ("conn_resets", Json.Int cs.Client.conn_resets);
+                ("parse_errors", Json.Int cs.Client.parse_errors);
+                ("connect_errors", Json.Int cs.Client.connect_errors);
+                ("server_busy", Json.Int cs.Client.server_busy);
+                ("retry_after_honored", Json.Int cs.Client.retry_after_honored);
+                ("breaker_opens", Json.Int cs.Client.breaker_opens);
+              ]);
+           ("proxy",
+            Json.Obj
+              [
+                ("connections", Json.Int pstats.Chaos.connections);
+                ("faulted", Json.Int pstats.Chaos.faulted);
+                ("resets", Json.Int pstats.Chaos.resets);
+                ("truncations", Json.Int pstats.Chaos.truncations);
+                ("corruptions", Json.Int pstats.Chaos.corruptions);
+                ("delayed_chunks", Json.Int pstats.Chaos.delayed_chunks);
+                ("throttled_chunks", Json.Int pstats.Chaos.throttled_chunks);
+                ("bytes_up", Json.Int pstats.Chaos.bytes_up);
+                ("bytes_down", Json.Int pstats.Chaos.bytes_down);
+              ]);
+         ]
+     in
+     let oc = open_out file in
+     output_string oc (Json.to_string_pretty doc);
+     output_char oc '\n';
+     close_out oc;
+     Format.printf "wrote %s@." file);
+  if failed = 0 && mismatched = 0 && calls = clients * rounds * List.length queries
+  then begin
+    Format.printf
+      "  chaos: 100%% eventual success, answers byte-identical to the \
+       fault-free run@.";
+    exit 0
+  end
+  else begin
+    Format.printf
+      "FAIL: chaos run did not reach 100%% eventual success with identical \
+       answers (replay with --chaos-seed %d)@."
+      seed;
+    exit 1
+  end
+
+(* ---- reporting --------------------------------------------------------- *)
 
 let throughput_json s =
   Json.Obj
@@ -271,6 +492,10 @@ let () =
   let rounds = ref 40 in
   let mix = ref (List.length base_queries) in
   let seconds = ref 1.0 in
+  let chaos = ref false in
+  let chaos_seed = ref 2026 in
+  let chaos_fault_prob = ref 0.6 in
+  let chaos_classes = ref "all" in
   Arg.parse
     [
       ("--json", Arg.String (fun f -> json_file := Some f), "FILE write results JSON");
@@ -280,9 +505,23 @@ let () =
        "N distinct queries in the mix (default 8; beyond 8 adds seed variants)");
       ("--tput-seconds", Arg.Set_float seconds,
        "S wall-clock budget per pipelined throughput pass (default 1.0)");
+      ("--chaos", Arg.Set chaos,
+       " drive the mix through a fault-injecting proxy with resilient \
+        clients instead of the perf phases; fails unless every call \
+        eventually succeeds byte-identically");
+      ("--chaos-seed", Arg.Set_int chaos_seed,
+       "SEED master seed for the fault schedule (default 2026)");
+      ("--chaos-fault-prob", Arg.Set_float chaos_fault_prob,
+       "P probability a connection draws a faulty plan (default 0.6)");
+      ("--chaos-classes", Arg.Set_string chaos_classes,
+       "SPEC fault classes: reset,truncate,corrupt,delay,throttle or all/none");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "loadgen [--json FILE] [--clients N] [--rounds N] [--mix N] [--tput-seconds S]";
+    "loadgen [--json FILE] [--clients N] [--rounds N] [--mix N] [--tput-seconds S] [--chaos]";
+  if !chaos then
+    chaos_main ~clients:!clients ~rounds:!rounds ~mix:!mix ~seed:!chaos_seed
+      ~fault_prob:!chaos_fault_prob ~class_spec:!chaos_classes
+      ~json_file:!json_file;
   let queries = make_queries !mix in
   let store_path =
     Filename.concat (Filename.get_temp_dir_name ())

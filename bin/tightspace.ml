@@ -626,6 +626,10 @@ let serve host port workers queue_cap cache_capacity cache_shards deadline
       max_nodes;
       store_path;
       store_fsync;
+      retry_after_overloaded_ms =
+        Server.default_config.Server.retry_after_overloaded_ms;
+      retry_after_draining_ms =
+        Server.default_config.Server.retry_after_draining_ms;
       verbose;
     }
   in
@@ -719,18 +723,17 @@ let serve_cmd =
 
 (* query *)
 let query host port opname protocol n horizon seed max_configs max_depth
-    solo_budget t_faults deadline max_nodes id raw =
+    solo_budget t_faults deadline max_nodes id raw retries timeout_ms =
   let module C = Ts_service.Client in
   match raw with
   | Some bytes -> (
     (* deliberately unframed bytes: the probe succeeds when the daemon
        answers with a well-formed error document instead of dying *)
     match C.connect ~host ~port () with
-    | exception Unix.Unix_error (err, _, _) ->
-      Printf.eprintf "query: cannot reach %s:%d: %s\n" host port
-        (Unix.error_message err);
+    | Error msg ->
+      Printf.eprintf "query: cannot reach %s:%d: %s\n" host port msg;
       1
-    | c ->
+    | Ok c ->
       Fun.protect
         ~finally:(fun () -> C.close c)
         (fun () ->
@@ -741,7 +744,7 @@ let query host port opname protocol n horizon seed max_configs max_depth
   | None -> (
     match Ts_service.Request.op_of_string opname with
     | None ->
-      Printf.eprintf "query: unknown op %s (witness, check, resilient, valency, analyze, ping, stats)\n"
+      Printf.eprintf "query: unknown op %s (witness, check, resilient, valency, analyze, ping, stats, health)\n"
         opname;
       2
     | Some op ->
@@ -762,17 +765,24 @@ let query host port opname protocol n horizon seed max_configs max_depth
           max_nodes;
         }
       in
-      (match C.request ~host ~port (Ts_service.Request.to_json req) with
-       | exception Unix.Unix_error (err, _, _) ->
-         Printf.eprintf "query: cannot reach %s:%d: %s\n" host port
-           (Unix.error_message err);
-         1
-       | Error msg -> Printf.eprintf "query: %s\n" msg; 1
-       | Ok doc ->
-         pr_json doc;
-         (match Ts_analysis.Json.member "ok" doc with
-          | Some (Ts_analysis.Json.Bool true) -> 0
-          | _ -> 1)))
+      let policy =
+        { C.default_policy with attempts = retries + 1; timeout_ms }
+      in
+      let client = C.make ~host ~policy ~port () in
+      Fun.protect
+        ~finally:(fun () -> C.shutdown client)
+        (fun () ->
+          match C.call client (Ts_service.Request.to_json req) with
+          | Error msg ->
+            (* the retry budget (including retries=0, a single attempt) is
+               spent: exit 4, distinct from a protocol-level refusal *)
+            Printf.eprintf "query: %s\n" msg;
+            4
+          | Ok doc ->
+            pr_json doc;
+            (match Ts_analysis.Json.member "ok" doc with
+             | Some (Ts_analysis.Json.Bool true) -> 0
+             | _ -> 1)))
 
 let query_cmd =
   let host =
@@ -804,13 +814,25 @@ let query_cmd =
              ~doc:"Send BYTES verbatim (no framing) and print the daemon's \
                    error response — the malformed-input probe.")
   in
+  let retries =
+    Arg.(value & opt int 4
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failed request up to N times (transport faults \
+                   and retryable refusals; exponential backoff).  0 means a \
+                   single attempt.  Exit 4 when the budget is exhausted.")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 10_000
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-attempt deadline in milliseconds; 0 disables it.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Send one request to a running serve daemon and print the \
              response document")
     Term.(const query $ host $ port $ op $ protocol_arg $ n_arg $ horizon_arg
           $ seed_arg $ max_configs_arg $ max_depth_arg $ solo_budget $ t_faults
-          $ deadline_arg $ max_nodes_arg $ id $ raw)
+          $ deadline_arg $ max_nodes_arg $ id $ raw $ retries $ timeout_ms)
 
 (* store: offline inspection of a witness log *)
 let store_inspect path json keys =
@@ -877,6 +899,163 @@ let store_cmd =
              status, stored keys (exit 1 if a torn tail was truncated)")
     Term.(const store_inspect $ path $ json $ keys)
 
+(* chaos: the fault-injection layer as a CLI — a standalone seeded proxy
+   to put in front of a serve daemon, and the store crash-torture loop *)
+module Chaos = Ts_service.Chaos
+
+let chaos_proxy listen_port upstream_host upstream_port seed fault_prob
+    class_spec max_delay_ms verbose =
+  match Chaos.classes_of_string class_spec with
+  | Error msg ->
+    Printf.eprintf "chaos proxy: %s\n" msg;
+    2
+  | Ok classes -> (
+    let config =
+      {
+        Chaos.listen_host = "127.0.0.1";
+        listen_port;
+        upstream_host;
+        upstream_port;
+        seed;
+        fault_prob;
+        classes;
+        max_delay_ms;
+        verbose;
+      }
+    in
+    match Chaos.start config with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "chaos proxy: cannot listen on 127.0.0.1:%d: %s\n"
+        listen_port (Unix.error_message err);
+      1
+    | proxy ->
+      (* machine-parseable, like serve's banner: harnesses scrape the port *)
+      Printf.printf
+        "tightspace chaos proxy: listening on 127.0.0.1:%d -> %s:%d (seed \
+         %d, fault-prob %.2f, classes %s)\n%!"
+        (Chaos.port proxy) upstream_host upstream_port seed fault_prob
+        (Chaos.classes_to_string classes);
+      let stop = Atomic.make false in
+      Ts_service.Signals.install ~exit_after:false ~on_signal:(fun signo ->
+          Printf.eprintf "tightspace chaos proxy: %s received; stopping...\n%!"
+            (if signo = Sys.sigint then "SIGINT" else "SIGTERM");
+          Atomic.set stop true);
+      let rec idle () =
+        if not (Atomic.get stop) then begin
+          (try Unix.sleepf 0.2
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          idle ()
+        end
+      in
+      idle ();
+      Chaos.stop proxy;
+      Format.printf "%a@." Chaos.pp_stats (Chaos.stats proxy);
+      0)
+
+let chaos_torture path iterations seed fsync json verbose =
+  let module T = Ts_store.Torture in
+  match T.run ?fsync ~seed ~iterations ~path () with
+  | Error msg ->
+    Printf.eprintf "chaos torture: INVARIANT VIOLATED: %s\n" msg;
+    1
+  | Ok r ->
+    if json then print_endline (T.report_to_json r)
+    else Format.printf "%a@." T.pp_report r;
+    if verbose then
+      Printf.eprintf "chaos torture: replay with --seed %d --iterations %d\n"
+        seed iterations;
+    0
+
+let chaos_cmd =
+  let seed default_seed =
+    Arg.(value & opt int default_seed
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Master seed; the whole run replays exactly from it.")
+  in
+  let proxy_cmd =
+    let listen_port =
+      Arg.(value & opt int 0
+           & info [ "port" ] ~docv:"PORT"
+               ~doc:"Listen port; 0 picks an ephemeral one (printed in the \
+                     banner).")
+    in
+    let upstream_host =
+      Arg.(value & opt string "127.0.0.1"
+           & info [ "upstream-host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+    in
+    let upstream_port =
+      Arg.(value & opt int 7433
+           & info [ "upstream-port" ] ~docv:"PORT"
+               ~doc:"The serving daemon to relay to.")
+    in
+    let fault_prob =
+      Arg.(value & opt float 0.6
+           & info [ "fault-prob" ] ~docv:"P"
+               ~doc:"Probability an accepted connection draws a faulty plan; \
+                     the rest relay verbatim.")
+    in
+    let classes =
+      Arg.(value & opt string "all"
+           & info [ "classes" ] ~docv:"SPEC"
+               ~doc:"Comma-separated fault classes to enable: reset, \
+                     truncate, corrupt, delay, throttle (or all, none).")
+    in
+    let max_delay =
+      Arg.(value & opt int 25
+           & info [ "max-delay-ms" ] ~docv:"MS"
+               ~doc:"Injected latency is uniform in [1, MS].")
+    in
+    let verbose =
+      Arg.(value & flag
+           & info [ "verbose" ] ~doc:"Log every injected fault as it fires.")
+    in
+    Cmd.v
+      (Cmd.info "proxy"
+         ~doc:"Run a seeded fault-injecting TCP proxy in front of a serve \
+               daemon: latency, throttling, mid-frame resets, truncation, \
+               detectable corruption — until SIGINT, then print fault stats")
+      Term.(const chaos_proxy $ listen_port $ upstream_host $ upstream_port
+            $ seed 2026 $ fault_prob $ classes $ max_delay $ verbose)
+  in
+  let torture_cmd =
+    let path =
+      Arg.(value & opt string "chaos-torture.log"
+           & info [ "path" ] ~docv:"PATH"
+               ~doc:"Log file to torture (removed first; scratch space).")
+    in
+    let iterations =
+      Arg.(value & opt int 300
+           & info [ "iterations" ] ~docv:"N"
+               ~doc:"Crash/reopen cycles to run.")
+    in
+    let fsync =
+      Arg.(value & opt (some fsync_conv) None
+           & info [ "fsync" ] ~docv:"POLICY"
+               ~doc:"Pin the durability policy (always, never, interval \
+                     seconds); by default each iteration draws one from the \
+                     seed so every policy faces every crash class.")
+    in
+    let json =
+      Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+    in
+    let verbose =
+      Arg.(value & flag
+           & info [ "verbose" ] ~doc:"Print the replay command line.")
+    in
+    Cmd.v
+      (Cmd.info "torture"
+         ~doc:"Crash-torture the witness store: hundreds of seeded \
+               append/crash/reopen cycles verifying the recovery contract \
+               (exit 1 with iteration and seed on any violation)")
+      Term.(const chaos_torture $ path $ iterations $ seed 2026 $ fsync
+            $ json $ verbose)
+  in
+  Cmd.group
+    (Cmd.info "chaos"
+       ~doc:"Fault injection: a seeded chaos proxy for the daemon and \
+             crash-torture for the witness store")
+    [ proxy_cmd; torture_cmd ]
+
 let () =
   let doc = "executable reproduction of 'A Tight Space Bound for Consensus'" in
   let info = Cmd.info "tightspace" ~version:"1.0.0" ~doc in
@@ -891,7 +1070,7 @@ let () =
              witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
              encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
              dot_cmd; cover_cmd; analyze_cmd; trace_cmd; serve_cmd; query_cmd;
-             store_cmd;
+             store_cmd; chaos_cmd;
            ])
     with
     | Valency.Horizon_exceeded msg ->

@@ -183,4 +183,67 @@ fi
 drain
 rm -f "$STORE"
 
+echo "== chaos smoke (fault proxy + resilient client + crash torture; 10 min cap) =="
+# the E23 bar, part 1: the full loadgen mix through an in-process chaos
+# proxy injecting resets, truncations, corruption, latency and throttling
+# — every call must eventually succeed with answers byte-identical to the
+# fault-free baseline, replayable from the printed seed
+timeout 600 dune exec bench/loadgen.exe -- --chaos --clients 4 --rounds 10 \
+  --chaos-seed 2026 > /tmp/chaos-loadgen.out
+grep -q "100% eventual success" /tmp/chaos-loadgen.out
+# part 2: the standalone proxy CLI, fault probability 1.0 (every
+# connection draws a faulty plan), with the query client's retry budget
+# absorbing whatever the schedule deals
+"$TS" serve --port 0 --workers 2 > /tmp/serve-chaos.out 2>&1 &
+SERVE_PID=$!
+PORT=""
+i=0
+while [ -z "$PORT" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "ci: serve did not announce a port" >&2; cat /tmp/serve-chaos.out >&2
+    kill "$SERVE_PID" 2> /dev/null || true; exit 1
+  fi
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' /tmp/serve-chaos.out)
+  [ -n "$PORT" ] || sleep 0.2
+done
+"$TS" chaos proxy --upstream-port "$PORT" --seed 7 --fault-prob 1.0 \
+  > /tmp/chaos-proxy.out 2>&1 &
+PROXY_PID=$!
+PPORT=""
+i=0
+while [ -z "$PPORT" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "ci: chaos proxy did not announce a port" >&2; cat /tmp/chaos-proxy.out >&2
+    kill "$PROXY_PID" "$SERVE_PID" 2> /dev/null || true; exit 1
+  fi
+  PPORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' /tmp/chaos-proxy.out)
+  [ -n "$PPORT" ] || sleep 0.2
+done
+timeout 300 "$TS" query witness --port "$PPORT" --protocol racing -n 2 \
+  --retries 10 > /tmp/q-chaos1.json
+timeout 300 "$TS" query witness --port "$PPORT" --protocol racing -n 2 \
+  --retries 10 > /tmp/q-chaos2.json
+if command -v python3 > /dev/null 2>&1; then
+  # byte-equal result bodies through the faulty path
+  python3 - /tmp/q-chaos1.json /tmp/q-chaos2.json <<'EOF'
+import json, sys
+a, b = (json.dumps(json.load(open(f))["result"], sort_keys=True) for f in sys.argv[1:])
+assert a == b, "results through the chaos proxy differ"
+EOF
+fi
+kill -INT "$PROXY_PID"
+wait "$PROXY_PID"
+grep -q "connections" /tmp/chaos-proxy.out
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+# part 3: the store crash-torture bar — 300 seeded append/crash/reopen
+# cycles, recovery invariants checked sharply at every reopen
+TORTURE_LOG=/tmp/ci-torture-$$.log
+timeout 600 "$TS" chaos torture --iterations 300 --seed 2026 \
+  --path "$TORTURE_LOG" --json > /tmp/torture.json
+grep -q '"iterations":300' /tmp/torture.json
+rm -f "$TORTURE_LOG"
+
 echo "ci: ok"

@@ -86,6 +86,14 @@ let protocol_of (r : Request.t) =
 let compute t (r : Request.t) : Json.t * bool =
   match r.Request.op with
   | Request.Ping -> (Json.Obj [ ("pong", Json.Bool true) ], false)
+  | Request.Health ->
+    (* liveness + a load snapshot cheap enough for the loop: the resilient
+       client (and an eventual load balancer) reads this to decide whether
+       to route, back off or fail over *)
+    ( Json.Obj
+        ([ ("status", Json.Str "ok"); ("store", Json.Bool (t.store <> None)) ]
+        @ t.extra_stats ()),
+      false )
   | Request.Stats ->
     ( Json.Obj
         ([ ("cache", Response.cache_stats_to_json (Cache.stats t.cache)) ]
@@ -165,7 +173,7 @@ let compute t (r : Request.t) : Json.t * bool =
 
 let cacheable_op (r : Request.t) =
   match r.Request.op with
-  | Request.Ping | Request.Stats -> false
+  | Request.Ping | Request.Stats | Request.Health -> false
   | Request.Witness | Request.Check | Request.Resilient | Request.Valency
   | Request.Analyze -> true
 

@@ -8,6 +8,7 @@ type op =
   | Analyze
   | Ping
   | Stats
+  | Health
 
 let op_to_string = function
   | Witness -> "witness"
@@ -17,6 +18,7 @@ let op_to_string = function
   | Analyze -> "analyze"
   | Ping -> "ping"
   | Stats -> "stats"
+  | Health -> "health"
 
 let op_of_string = function
   | "witness" -> Some Witness
@@ -26,6 +28,7 @@ let op_of_string = function
   | "analyze" -> Some Analyze
   | "ping" -> Some Ping
   | "stats" -> Some Stats
+  | "health" -> Some Health
   | _ -> None
 
 type t = {

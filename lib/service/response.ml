@@ -225,11 +225,16 @@ let envelope_raw ~id ~provenance ~cache_key ~elapsed_ms ~result =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-let error ~id ~code msg =
+let error ?retry_after_ms ~id ~code msg =
   Json.Obj
     [
       ("id", match id with None -> Json.Null | Some i -> Json.Int i);
       ("ok", Json.Bool false);
       ("error",
-       Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]);
+       Json.Obj
+         ([ ("code", Json.Str code); ("message", Json.Str msg) ]
+         @
+         match retry_after_ms with
+         | None -> []
+         | Some ms -> [ ("retry_after_ms", Json.Int ms) ]));
     ]

@@ -91,5 +91,9 @@ val envelope_raw :
     false, "error": {"code": ..., "message": ...}}].  Stable codes:
     ["bad-frame"], ["bad-json"], ["bad-request"], ["unknown-protocol"],
     ["invalid-argument"], ["construction-failed"], ["overloaded"],
-    ["shutting-down"], ["internal"]. *)
-val error : id:int option -> code:string -> string -> Json.t
+    ["shutting-down"], ["internal"].  [retry_after_ms] adds the
+    machine-readable backpressure hint ([{"retry_after_ms": ...}] inside
+    the error object) that backpressure refusals ([overloaded],
+    [shutting-down]) carry and the resilient client honors — see
+    docs/SERVICE.md "Error envelope schema". *)
+val error : ?retry_after_ms:int -> id:int option -> code:string -> string -> Json.t

@@ -13,6 +13,8 @@ type config = {
   max_nodes : int option;
   store_path : string option;
   store_fsync : Store.fsync;
+  retry_after_overloaded_ms : int;
+  retry_after_draining_ms : int;
   verbose : bool;
 }
 
@@ -28,6 +30,11 @@ let default_config =
     max_nodes = None;
     store_path = None;
     store_fsync = Store.Always;
+    (* a full queue drains at worker speed — tell clients to come back
+       after roughly one job's latency; a draining daemon never comes
+       back, so steer them away for longer *)
+    retry_after_overloaded_ms = 50;
+    retry_after_draining_ms = 1000;
     verbose = false;
   }
 
@@ -52,7 +59,8 @@ let log t fmt =
   if t.config.verbose then Printf.eprintf (fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
-let err_doc ~id code msg = Json.to_string (Response.error ~id ~code msg)
+let err_doc ?retry_after_ms ~id code msg =
+  Json.to_string (Response.error ?retry_after_ms ~id ~code msg)
 
 let malformed_doc t ~id code msg =
   Atomic.incr t.malformed;
@@ -94,12 +102,14 @@ let on_payload t conn payload =
           Atomic.incr t.refused;
           Obs.Metrics.incr "service.refused";
           Evloop.Now
-            (err_doc ~id "overloaded"
-               "job queue full; retry later or raise --queue-cap")
+            (err_doc ~retry_after_ms:t.config.retry_after_overloaded_ms ~id
+               "overloaded" "job queue full; retry later or raise --queue-cap")
         | Pool.Shutting_down ->
           Atomic.incr t.refused;
           Obs.Metrics.incr "service.refused";
-          Evloop.Now (err_doc ~id "shutting-down" "daemon is draining"))))
+          Evloop.Now
+            (err_doc ~retry_after_ms:t.config.retry_after_draining_ms ~id
+               "shutting-down" "daemon is draining"))))
 
 let on_frame_error t e =
   Atomic.incr t.malformed;

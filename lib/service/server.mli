@@ -48,6 +48,10 @@ type config = {
   store_path : string option;
       (** attach the persistent witness store at this path *)
   store_fsync : Ts_store.Store.fsync;  (** durability policy for appends *)
+  retry_after_overloaded_ms : int;
+      (** [retry_after_ms] hint carried by ["overloaded"] refusals *)
+  retry_after_draining_ms : int;
+      (** [retry_after_ms] hint carried by ["shutting-down"] refusals *)
   verbose : bool;  (** log lifecycle events to stderr *)
 }
 

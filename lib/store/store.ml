@@ -15,6 +15,12 @@ type fsync =
   | Interval of float
   | Never
 
+type crash_point =
+  | Crash_after_bytes of int
+  | Crash_before_sync
+
+exception Injected_crash
+
 type t = {
   fd : Unix.file_descr;
   path : string;
@@ -26,6 +32,7 @@ type t = {
   mutable dirty : bool;  (* appended since the last sync *)
   mutable last_sync : float;
   mutable closed : bool;
+  mutable failpoint : crash_point option;  (* armed crash injection, tests only *)
   (* counters, all under [lock] *)
   mutable appends : int;
   mutable recovered : int;
@@ -168,6 +175,7 @@ let open_ ?(fsync = Always) path =
         dirty = false;
         last_sync = Unix.gettimeofday ();
         closed = false;
+        failpoint = None;
         appends = 0;
         recovered = 0;
         torn_truncations = 0;
@@ -227,8 +235,37 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
 
+(* A fired crash point behaves like the process dying at that instant:
+   the handle becomes unusable and the fd is closed *without* a sync, so
+   whatever reached the page cache is what a reopen will see.  The caller
+   holds the lock (released by [locked]'s protect). *)
+let fire_crash t =
+  t.failpoint <- None;
+  t.closed <- true;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  raise Injected_crash
+
+(* All record bytes go through this hook.  Disarmed (the production case)
+   it costs one immediate pattern match on [None] per append. *)
+let crash_write t b off len =
+  match t.failpoint with
+  | None -> write_all t.fd b off len
+  | Some (Crash_after_bytes budget) ->
+    if budget < len then begin
+      if budget > 0 then write_all t.fd b off budget;
+      fire_crash t
+    end
+    else begin
+      write_all t.fd b off len;
+      t.failpoint <- Some (Crash_after_bytes (budget - len))
+    end
+  | Some Crash_before_sync -> write_all t.fd b off len
+
 let do_sync t =
   if t.dirty then begin
+    (match t.failpoint with
+    | Some Crash_before_sync -> fire_crash t
+    | _ -> ());
     (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
     t.dirty <- false;
     t.syncs <- t.syncs + 1;
@@ -257,7 +294,7 @@ let append t ~key ~value =
     let len = Buffer.length t.scratch in
     let b = Buffer.to_bytes t.scratch in
     ignore (Unix.lseek t.fd t.size Unix.SEEK_SET);
-    write_all t.fd b 0 len;
+    crash_write t b 0 len;
     Ckey.Tbl.replace t.index key
       (t.size + record_header_len + String.length kraw, String.length value);
     t.size <- t.size + len;
@@ -310,6 +347,28 @@ let close t =
   do_sync t;
   t.closed <- true;
   try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* [abandon] is [close] minus the sync and the closed-handle check: the
+   torture harness's "the process died between appends" move. *)
+let abandon t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let inject_crash t p =
+  Mutex.lock t.lock;
+  t.failpoint <- Some p;
+  Mutex.unlock t.lock
+
+let crash_disarm t =
+  Mutex.lock t.lock;
+  t.failpoint <- None;
+  Mutex.unlock t.lock
+
+let crash_armed t = t.failpoint
 
 let path t = t.path
 

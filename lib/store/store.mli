@@ -71,6 +71,10 @@ val header_bytes : string
     record — the pure function the golden-format test pins. *)
 val record_bytes : key:string -> value:string -> string
 
+(** Bytes of the klen/vlen/crc prefix of every record (12): the
+    crash-torture harness uses it to aim tears inside a header. *)
+val record_header_len : int
+
 (** Caps on a single record's components; [append] refuses beyond them
     (and recovery treats larger claims as tail damage). *)
 val max_key_bytes : int
@@ -105,6 +109,50 @@ val sync : t -> unit
 
 (** Sync and release the file descriptor.  Further use raises. *)
 val close : t -> unit
+
+(** Release the file descriptor {e without} syncing and without touching
+    anything else — the "process died here" move for crash testing.
+    Idempotent; a no-op on a closed handle.  Further use raises. *)
+val abandon : t -> unit
+
+(** {1 Crash-point injection}
+
+    Deterministic simulated crashes for the torture harness
+    ({!Torture}) and the store test suite.  A crash point is {e armed}
+    on a live handle; when the guarded operation reaches it, the store
+    behaves as if the process died at that instant: the armed point is
+    cleared, the handle is marked closed, the fd is closed {e without}
+    fsync, and {!Injected_crash} is raised to the caller.  Whatever
+    bytes the kernel had already accepted are what a subsequent
+    {!open_} recovers — exactly the failure surface real crashes
+    expose.
+
+    Disarmed (the production state) the hook costs a single pattern
+    match on [None] per append and per sync — there is no code path,
+    allocation or syscall difference. *)
+
+type crash_point =
+  | Crash_after_bytes of int
+      (** Let [n] more record bytes reach the kernel, then die inside
+          the write that would exceed the allowance.  [n] below the
+          12-byte record header tears mid-header; any [n] short of the
+          full record produces a torn tail for recovery to truncate. *)
+  | Crash_before_sync
+      (** Die at the next fsync attempt, after the record bytes were
+          written but before durability was promised.  With
+          [Interval]/[Never] policies this models losing the page
+          cache's word. *)
+
+exception Injected_crash
+
+(** Arm [p] on a live handle (replacing any previously armed point). *)
+val inject_crash : t -> crash_point -> unit
+
+(** Disarm without firing. *)
+val crash_disarm : t -> unit
+
+(** Currently armed point, if any. *)
+val crash_armed : t -> crash_point option
 
 (** Point-in-time counters. *)
 type stats = {

@@ -1,0 +1,234 @@
+(* Crash-torture loop for the witness log.  See the .mli for the contract. *)
+
+open Ts_model
+
+type report = {
+  iterations : int;
+  seed : int;
+  acked : int;
+  crashes_mid_write : int;
+  crashes_mid_header : int;
+  crashes_before_sync : int;
+  crashes_at_close : int;
+  abandons : int;
+  clean_closes : int;
+  torn_tails : int;
+  torn_bytes : int;
+  records_final : int;
+  syncs : int;
+}
+
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+(* Deterministic record material: keys are digests of a run-unique
+   counter (never colliding, so the dedup path stays out of the model);
+   values are printable noise of seeded length. *)
+let gen_record rng ~seed counter =
+  let key = Ckey.of_string (Printf.sprintf "torture-%d-%d" seed counter) in
+  let len =
+    if Rng.int rng 10 = 0 then 1 + Rng.int rng 2000 else 1 + Rng.int rng 120
+  in
+  let value = String.init len (fun _ -> Char.chr (32 + Rng.int rng 95)) in
+  (key, value)
+
+let pick_policy rng =
+  match Rng.int rng 4 with
+  | 0 -> Store.Always
+  | 1 -> Store.Interval 0.
+  | 2 -> Store.Interval 3600.
+  | _ -> Store.Never
+
+(* The model check: everything ever acknowledged (or predicted durable)
+   is present byte-identical, nothing else is, and the torn tail is
+   exactly the one the armed crash point predicts. *)
+let verify st ~it ~seed ~expected ~torn_count ~torn_len =
+  let s = Store.stats st in
+  if s.torn_truncations <> torn_count || s.torn_bytes <> torn_len then
+    fail
+      "iteration %d (seed %d): recovery truncated %d tail(s) / %d byte(s), \
+       crash model predicts %d / %d"
+      it seed s.torn_truncations s.torn_bytes torn_count torn_len;
+  if s.records <> Ckey.Tbl.length expected then
+    fail
+      "iteration %d (seed %d): recovered %d record(s), model holds %d — %s"
+      it seed s.records
+      (Ckey.Tbl.length expected)
+      (if s.records < Ckey.Tbl.length expected then
+         "an acknowledged append was lost"
+       else "recovery invented a record");
+  Ckey.Tbl.iter
+    (fun key value ->
+      match Store.find st key with
+      | None ->
+        fail "iteration %d (seed %d): acknowledged record %s missing" it seed
+          (Ckey.to_hex key)
+      | Some v when not (String.equal v value) ->
+        fail
+          "iteration %d (seed %d): record %s recovered with different bytes \
+           (%d vs %d)"
+          it seed (Ckey.to_hex key) (String.length v) (String.length value)
+      | Some _ -> ())
+    expected
+
+let run ?fsync ~seed ~iterations ~path () =
+  if iterations < 1 then invalid_arg "Torture.run: iterations < 1";
+  if Sys.file_exists path then Sys.remove path;
+  let rng = Rng.create seed in
+  let expected : string Ckey.Tbl.t = Ckey.Tbl.create 1024 in
+  let counter = ref 0 in
+  (* what the last death predicts the next recovery will truncate *)
+  let torn_count = ref 0 and torn_len = ref 0 in
+  let acked = ref 0
+  and mid_write = ref 0
+  and mid_header = ref 0
+  and before_sync = ref 0
+  and at_close = ref 0
+  and abandons = ref 0
+  and clean = ref 0
+  and torn_tails = ref 0
+  and torn_bytes = ref 0
+  and syncs = ref 0 in
+  let account_death st =
+    let s = Store.stats st in
+    syncs := !syncs + s.syncs
+  in
+  try
+    for it = 1 to iterations do
+      let policy = match fsync with Some p -> p | None -> pick_policy rng in
+      match Store.open_ ~fsync:policy path with
+      | Error e -> fail "iteration %d (seed %d): recovery failed: %s" it seed e
+      | exception exn ->
+        fail "iteration %d (seed %d): recovery raised %s" it seed
+          (Printexc.to_string exn)
+      | Ok st ->
+        verify st ~it ~seed ~expected ~torn_count:!torn_count
+          ~torn_len:!torn_len;
+        let s = Store.stats st in
+        torn_tails := !torn_tails + s.torn_truncations;
+        torn_bytes := !torn_bytes + s.torn_bytes;
+        let n_app = 1 + Rng.int rng 5 in
+        let crash_at =
+          if Rng.int rng 4 < 3 then Some (Rng.int rng n_app) else None
+        in
+        let crashed = ref false in
+        for j = 0 to n_app - 1 do
+          if not !crashed then begin
+            let key, value = gen_record rng ~seed !counter in
+            incr counter;
+            if crash_at = Some j then begin
+              let rec_len =
+                String.length (Store.record_bytes ~key:(Ckey.to_raw key) ~value)
+              in
+              let kind =
+                if Rng.bool rng then begin
+                  (* bias one tear in four into the 12-byte record header *)
+                  let budget =
+                    if Rng.int rng 4 = 0 then
+                      Rng.int rng Store.record_header_len
+                    else Rng.int rng rec_len
+                  in
+                  `After budget
+                end
+                else `Before
+              in
+              (match kind with
+              | `After b -> Store.inject_crash st (Store.Crash_after_bytes b)
+              | `Before -> Store.inject_crash st Store.Crash_before_sync);
+              match Store.append st ~key ~value with
+              | exception Store.Injected_crash ->
+                crashed := true;
+                (match kind with
+                | `After b ->
+                  (* the in-flight record tore: exactly [b] stray bytes
+                     for the next recovery to cut, and the record itself
+                     must NOT come back *)
+                  incr mid_write;
+                  if b < Store.record_header_len then incr mid_header;
+                  torn_count := if b > 0 then 1 else 0;
+                  torn_len := b
+                | `Before ->
+                  (* record bytes were fully written before the sync died:
+                     durable but unacknowledged — recovery must surface it *)
+                  incr before_sync;
+                  torn_count := 0;
+                  torn_len := 0;
+                  Ckey.Tbl.replace expected key value);
+                account_death st
+              | _acked ->
+                (* a lazy fsync policy deferred the sync, so Before_sync
+                   hasn't fired yet: the append is acknowledged and the
+                   crash waits at the close below *)
+                incr acked;
+                Ckey.Tbl.replace expected key value
+            end
+            else begin
+              ignore (Store.append st ~key ~value : bool);
+              incr acked;
+              Ckey.Tbl.replace expected key value
+            end
+          end
+        done;
+        if not !crashed then begin
+          torn_count := 0;
+          torn_len := 0;
+          if Rng.bool rng then (
+            match Store.close st with
+            | () -> incr clean
+            | exception Store.Injected_crash -> incr at_close)
+          else begin
+            (* drop the handle cold: no sync, no crash point — every
+               acknowledged record must still recover *)
+            incr abandons;
+            Store.abandon st
+          end;
+          account_death st
+        end
+    done;
+    (* final reopen: one last full verification, then a clean close *)
+    match Store.open_ ?fsync:None path with
+    | Error e -> fail "final reopen (seed %d): recovery failed: %s" seed e
+    | Ok st ->
+      verify st ~it:(iterations + 1) ~seed ~expected ~torn_count:!torn_count
+        ~torn_len:!torn_len;
+      let records_final = (Store.stats st).records in
+      let torn_final = (Store.stats st).torn_truncations in
+      torn_tails := !torn_tails + torn_final;
+      torn_bytes := !torn_bytes + (Store.stats st).torn_bytes;
+      Store.close st;
+      account_death st;
+      Ok
+        {
+          iterations;
+          seed;
+          acked = !acked;
+          crashes_mid_write = !mid_write;
+          crashes_mid_header = !mid_header;
+          crashes_before_sync = !before_sync;
+          crashes_at_close = !at_close;
+          abandons = !abandons;
+          clean_closes = !clean;
+          torn_tails = !torn_tails;
+          torn_bytes = !torn_bytes;
+          records_final;
+          syncs = !syncs;
+        }
+  with Violation msg -> Error msg
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d iterations (seed %d): %d acked appends, %d records recovered at the \
+     end; crashes: %d mid-write (%d mid-header), %d before-sync, %d at-close, \
+     %d abandons, %d clean closes; %d torn tail(s) truncated (%d bytes), %d \
+     fsyncs"
+    r.iterations r.seed r.acked r.records_final r.crashes_mid_write
+    r.crashes_mid_header r.crashes_before_sync r.crashes_at_close r.abandons
+    r.clean_closes r.torn_tails r.torn_bytes r.syncs
+
+let report_to_json r =
+  Printf.sprintf
+    "{\"iterations\":%d,\"seed\":%d,\"acked\":%d,\"crashes_mid_write\":%d,\"crashes_mid_header\":%d,\"crashes_before_sync\":%d,\"crashes_at_close\":%d,\"abandons\":%d,\"clean_closes\":%d,\"torn_tails\":%d,\"torn_bytes\":%d,\"records_final\":%d,\"syncs\":%d}"
+    r.iterations r.seed r.acked r.crashes_mid_write r.crashes_mid_header
+    r.crashes_before_sync r.crashes_at_close r.abandons r.clean_closes
+    r.torn_tails r.torn_bytes r.records_final r.syncs

@@ -232,7 +232,7 @@ let member_str k doc =
 
 let test_e2e_ping_and_witness () =
   with_server @@ fun server ->
-  let conn = Client.connect ~port:(Server.port server) () in
+  let conn = Client.connect_exn ~port:(Server.port server) () in
   Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
   let pong = rpc_ok conn (Request.to_json { Request.defaults with id = 9 }) in
   Alcotest.(check bool) "pong ok" true (Json.member "ok" pong = Some (Json.Bool true));
@@ -247,7 +247,7 @@ let test_e2e_ping_and_witness () =
 
 let test_e2e_cached_equals_fresh () =
   with_server @@ fun server ->
-  let conn = Client.connect ~port:(Server.port server) () in
+  let conn = Client.connect_exn ~port:(Server.port server) () in
   Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
   let cold = rpc_ok conn (Request.to_json witness_req) in
   let warm = rpc_ok conn (Request.to_json witness_req) in
@@ -273,7 +273,7 @@ let test_e2e_malformed_survival () =
   with_server @@ fun server ->
   let port = Server.port server in
   (* 1: framing garbage — answered with bad-frame, connection dropped *)
-  let c1 = Client.connect ~port () in
+  let c1 = Client.connect_exn ~port () in
   Client.send_raw c1 "complete garbage\n";
   (match Client.recv c1 with
    | Ok doc ->
@@ -284,7 +284,7 @@ let test_e2e_malformed_survival () =
    | Error e -> Alcotest.failf "no error frame: %s" e);
   Client.close c1;
   (* 2: valid frame, invalid JSON — answered, connection survives *)
-  let c2 = Client.connect ~port () in
+  let c2 = Client.connect_exn ~port () in
   Client.send_raw c2 "9\n{\"op\": xx";
   (match Client.recv c2 with
    | Ok doc ->
@@ -299,7 +299,7 @@ let test_e2e_malformed_survival () =
     (Json.member "ok" pong = Some (Json.Bool true));
   Client.close c2;
   (* 3: unknown protocol — typed error, daemon alive *)
-  let c3 = Client.connect ~port () in
+  let c3 = Client.connect_exn ~port () in
   let resp =
     rpc_ok c3
       (Request.to_json
@@ -325,7 +325,7 @@ let test_e2e_concurrent_clients () =
     ]
   in
   let worker i () =
-    let conn = Client.connect ~port () in
+    let conn = Client.connect_exn ~port () in
     Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
     List.init 6 (fun j ->
         let req = List.nth reqs ((i + j) mod List.length reqs) in
@@ -384,7 +384,7 @@ let test_e2e_restart_recovers () =
   (* first daemon: compute and persist *)
   let fresh_body =
     with_store_server @@ fun server ->
-    let conn = Client.connect ~port:(Server.port server) () in
+    let conn = Client.connect_exn ~port:(Server.port server) () in
     Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
     let cold = rpc_ok conn (Request.to_json witness_req) in
     Alcotest.(check (option string)) "first answer fresh" (Some "fresh")
@@ -399,7 +399,7 @@ let test_e2e_restart_recovers () =
   (* second daemon, same log: the answer must come back from disk,
      byte-identical, without recomputation *)
   with_store_server @@ fun server ->
-  let conn = Client.connect ~port:(Server.port server) () in
+  let conn = Client.connect_exn ~port:(Server.port server) () in
   Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
   let back = rpc_ok conn (Request.to_json witness_req) in
   Alcotest.(check (option string)) "served from the log" (Some "recovered")
@@ -423,7 +423,7 @@ let test_e2e_pipelined_ordering () =
      back exactly in request order, even though some are answered on the
      loop and some by a worker *)
   with_server @@ fun server ->
-  let conn = Client.connect ~port:(Server.port server) () in
+  let conn = Client.connect_exn ~port:(Server.port server) () in
   Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
   let frame doc =
     let s = Json.to_string doc in
@@ -449,6 +449,199 @@ let test_e2e_pipelined_ordering () =
           true
           (Json.member "id" doc = Some (Json.Int r.Request.id)))
     reqs
+
+(* --- the resilient client and the chaos layer --------------------------- *)
+
+module Chaos = Ts_service.Chaos
+module Response = Ts_service.Response
+
+(* satellite regression: a server-side close mid-conversation surfaces as
+   a tagged Error, never an escaped Unix_error *)
+let test_conn_reset_tagged () =
+  with_server @@ fun server ->
+  let port = Server.port server in
+  let c = Client.connect_exn ~port () in
+  (* framing garbage earns the bad-frame answer and a server-side close *)
+  Client.send_raw c "complete garbage\n";
+  (match Client.recv c with
+   | Ok doc ->
+     Alcotest.(check (option string)) "bad-frame first" (Some "bad-frame")
+       (match Json.member "error" doc with
+        | Some e -> member_str "code" e
+        | None -> None)
+   | Error e -> Alcotest.failf "no error frame: %s" e);
+  (* the next exchange runs into the closed socket: tagged, no raise *)
+  (match Client.rpc c (Request.to_json Request.defaults) with
+   | Ok doc -> Alcotest.failf "rpc on a dead conn answered: %s" (Json.to_string doc)
+   | Error msg ->
+     Alcotest.(check string) "tagged conn_reset" "conn_reset"
+       (Client.error_tag msg));
+  Client.close c;
+  (* and a refused connect is a tagged Error too *)
+  match Client.connect ~port:1 () with
+  | Ok _ -> Alcotest.fail "connected to port 1"
+  | Error msg ->
+    Alcotest.(check string) "tagged connect" "connect" (Client.error_tag msg)
+
+let test_health_op () =
+  with_server @@ fun server ->
+  let conn = Client.connect_exn ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let req = { Request.defaults with Request.op = Request.Health; id = 5 } in
+  let doc = rpc_ok conn (Request.to_json req) in
+  Alcotest.(check bool) "ok" true (Json.member "ok" doc = Some (Json.Bool true));
+  let result = match Json.member "result" doc with Some r -> r | None -> Json.Null in
+  Alcotest.(check (option string)) "status ok" (Some "ok")
+    (member_str "status" result);
+  Alcotest.(check bool) "load snapshot present" true
+    (Json.member "queue_depth" result <> None
+    && Json.member "workers" result <> None);
+  (* never cached: a second ask carries no provenance marker *)
+  let again = rpc_ok conn (Request.to_json req) in
+  Alcotest.(check (option string)) "health is not a cache citizen" None
+    (member_str "provenance" again)
+
+(* the error envelope carries the machine-readable hint ... *)
+let test_retry_after_envelope () =
+  let doc = Response.error ~retry_after_ms:50 ~id:(Some 3) ~code:"overloaded" "busy" in
+  match Json.member "error" doc with
+  | Some err ->
+    Alcotest.(check bool) "retry_after_ms in the error object" true
+      (Json.member "retry_after_ms" err = Some (Json.Int 50));
+    Alcotest.(check (option string)) "code kept" (Some "overloaded")
+      (member_str "code" err)
+  | None -> Alcotest.fail "no error object"
+
+(* ... and the resilient client honors it: a hand-rolled server refuses
+   the first attempt with retry_after_ms and serves the second *)
+let test_retry_after_honored () =
+  let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 4;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  let server =
+    Domain.spawn (fun () ->
+        let serve_one doc =
+          let fd, _ = Unix.accept lsock in
+          (match Ts_service.Frame.read fd with
+           | Ok _ -> Ts_service.Frame.write fd (Json.to_string doc)
+           | Error _ -> ());
+          fd
+        in
+        (* first attempt: the busy refusal, connection left open *)
+        let fd1 =
+          serve_one
+            (Response.error ~retry_after_ms:30 ~id:(Some 1) ~code:"overloaded"
+               "queue full")
+        in
+        (* the client keeps the connection for the retry *)
+        (match Ts_service.Frame.read fd1 with
+         | Ok _ ->
+           Ts_service.Frame.write fd1
+             (Json.to_string
+                (Json.Obj
+                   [ ("id", Json.Int 1); ("ok", Json.Bool true);
+                     ("result", Json.Str "served") ]))
+         | Error _ -> ());
+        Unix.close fd1;
+        Unix.close lsock)
+  in
+  let cl =
+    Client.make
+      ~policy:{ Client.default_policy with attempts = 3; backoff_ms = 5 }
+      ~port ()
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Client.call cl (Request.to_json { Request.defaults with Request.id = 1 }) with
+   | Ok doc ->
+     Alcotest.(check bool) "second attempt served" true
+       (Json.member "ok" doc = Some (Json.Bool true))
+   | Error msg -> Alcotest.failf "call failed: %s" msg);
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let s = Client.stats cl in
+  Client.shutdown cl;
+  Domain.join server;
+  Alcotest.(check int) "one busy refusal seen" 1 s.Client.server_busy;
+  Alcotest.(check int) "its retry_after_ms honored" 1 s.Client.retry_after_honored;
+  Alcotest.(check int) "one retry spent" 1 s.Client.retries;
+  Alcotest.(check bool) "the hinted pause was actually taken" true
+    (elapsed_ms >= 25.)
+
+(* the e2e chaos bar in miniature: every call through a proxy faulting
+   every connection must still succeed with byte-identical answers *)
+let test_resilient_through_chaos () =
+  with_server ~workers:2 @@ fun server ->
+  let port = Server.port server in
+  (* fault-free reference body *)
+  let direct = Client.connect_exn ~port () in
+  let reference =
+    match Json.member "result" (rpc_ok direct (Request.to_json witness_req)) with
+    | Some r -> Json.to_string r
+    | None -> Alcotest.fail "no result"
+  in
+  Client.close direct;
+  let proxy =
+    Chaos.start
+      { (Chaos.default_config ~upstream_port:port) with seed = 11; fault_prob = 1.0 }
+  in
+  Fun.protect ~finally:(fun () -> Chaos.stop proxy) @@ fun () ->
+  let cl =
+    Client.make
+      ~policy:{ Client.default_policy with attempts = 12; backoff_ms = 5; seed = 11 }
+      ~port:(Chaos.port proxy) ()
+  in
+  for i = 1 to 25 do
+    match Client.call cl (Request.to_json { witness_req with Request.id = i }) with
+    | Error msg -> Alcotest.failf "call %d exhausted: %s" i msg
+    | Ok doc ->
+      (match Json.member "result" doc with
+       | Some r ->
+         Alcotest.(check string)
+           (Printf.sprintf "call %d byte-identical through chaos" i)
+           reference (Json.to_string r)
+       | None -> Alcotest.failf "call %d: no result" i)
+  done;
+  let cs = Client.stats cl in
+  Client.shutdown cl;
+  let ps = Chaos.stats proxy in
+  Alcotest.(check int) "every call eventually answered" 25 cs.Client.calls;
+  Alcotest.(check bool) "faults were actually injected" true
+    (ps.Chaos.faulted > 0);
+  Alcotest.(check bool) "and absorbed by retries, not luck" true
+    (cs.Client.retries > 0 || ps.Chaos.resets = 0)
+
+(* a dead upstream trips the breaker after the configured streak *)
+let test_breaker_opens () =
+  let cl =
+    Client.make
+      ~policy:
+        {
+          Client.default_policy with
+          attempts = 4;
+          backoff_ms = 2;
+          backoff_max_ms = 4;
+          breaker_threshold = 2;
+          breaker_cooldown_ms = 20;
+        }
+      ~port:1 ()
+  in
+  (match Client.call cl (Request.to_json Request.defaults) with
+   | Ok _ -> Alcotest.fail "called through a dead port"
+   | Error msg ->
+     Alcotest.(check bool) "exhausted reported" true
+       (Client.error_tag msg = "exhausted"));
+  let s = Client.stats cl in
+  Client.shutdown cl;
+  Alcotest.(check int) "all attempts spent" 4 s.Client.attempts_made;
+  Alcotest.(check bool) "breaker opened on the streak" true
+    (s.Client.breaker_opens >= 1);
+  Alcotest.(check int) "every attempt a tagged connect failure" 4
+    s.Client.connect_errors
 
 let suite =
   ( "service",
@@ -477,4 +670,16 @@ let suite =
         test_e2e_restart_recovers;
       Alcotest.test_case "e2e: pipelined responses keep request order" `Quick
         test_e2e_pipelined_ordering;
+      Alcotest.test_case "client: server-side close is a tagged error" `Quick
+        test_conn_reset_tagged;
+      Alcotest.test_case "health op: readiness + load snapshot" `Quick
+        test_health_op;
+      Alcotest.test_case "error envelope carries retry_after_ms" `Quick
+        test_retry_after_envelope;
+      Alcotest.test_case "client honors a server retry_after_ms" `Quick
+        test_retry_after_honored;
+      Alcotest.test_case "e2e: resilient client through the chaos proxy" `Quick
+        test_resilient_through_chaos;
+      Alcotest.test_case "client: circuit breaker opens on a failure streak"
+        `Quick test_breaker_opens;
     ] )

@@ -189,6 +189,176 @@ let test_write_through_cache () =
     (Cache.find cache (key_of "k2"));
   Store.close t
 
+(* ---- crash-point injection and torture --------------------------------- *)
+
+module Torture = Ts_store.Torture
+
+(* an armed byte budget tears the in-flight record at exactly that byte *)
+let test_crash_after_bytes () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  ignore (Store.append t ~key:(key_of "a") ~value:"alpha");
+  let good = (Store.stats t).Store.bytes in
+  (* the record is 12 header + 1 key + 4 value bytes; a 14-byte budget
+     tears it just past the header *)
+  Store.inject_crash t (Store.Crash_after_bytes 14);
+  Alcotest.(check bool) "armed" true (Store.crash_armed t <> None);
+  (match Store.append t ~key:(key_of "b") ~value:"beta" with
+   | exception Store.Injected_crash -> ()
+   | _ -> Alcotest.fail "append survived the armed crash");
+  Alcotest.(check int) "exactly the budget hit the disk" (good + 14)
+    (file_size path);
+  Alcotest.(check bool) "the handle died with the crash" true
+    (match Store.find t (key_of "a") with
+     | exception _ -> true
+     | _ -> false);
+  let t = open_ok path in
+  let s = Store.stats t in
+  Alcotest.(check int) "torn tail cut" 1 s.Store.torn_truncations;
+  Alcotest.(check int) "torn bytes = the armed budget" 14 s.Store.torn_bytes;
+  Alcotest.(check int) "in-flight record lost, prior prefix intact" 1
+    s.Store.recovered;
+  Alcotest.(check (option string)) "survivor byte-identical" (Some "alpha")
+    (Store.find t (key_of "a"));
+  Alcotest.(check bool) "log accepts appends again" true
+    (Store.append t ~key:(key_of "b") ~value:"beta");
+  Store.close t
+
+(* a crash inside the 12-byte header leaves a tail recovery must also cut *)
+let test_crash_mid_header () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  ignore (Store.append t ~key:(key_of "a") ~value:"alpha");
+  Store.inject_crash t (Store.Crash_after_bytes (Store.record_header_len - 7));
+  (match Store.append t ~key:(key_of "b") ~value:"beta" with
+   | exception Store.Injected_crash -> ()
+   | _ -> Alcotest.fail "append survived the armed crash");
+  let t = open_ok path in
+  let s = Store.stats t in
+  Alcotest.(check int) "header shard truncated" 1 s.Store.torn_truncations;
+  Alcotest.(check int) "of exactly the armed size" (Store.record_header_len - 7)
+    s.Store.torn_bytes;
+  Alcotest.(check (option string)) "prior record served" (Some "alpha")
+    (Store.find t (key_of "a"));
+  Store.close t
+
+(* dying before the fsync recovers the fully-written unacknowledged
+   record: durable but unacked is allowed, lost but acked is not *)
+let test_crash_before_sync () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  ignore (Store.append t ~key:(key_of "a") ~value:"alpha");
+  Store.inject_crash t Store.Crash_before_sync;
+  (match Store.append t ~key:(key_of "b") ~value:"beta" with
+   | exception Store.Injected_crash -> ()
+   | _ -> Alcotest.fail "append survived the armed crash");
+  let t = open_ok path in
+  let s = Store.stats t in
+  Alcotest.(check int) "no torn tail" 0 s.Store.torn_truncations;
+  Alcotest.(check int) "unacked record fully recovered" 2 s.Store.recovered;
+  Alcotest.(check (option string)) "its value intact" (Some "beta")
+    (Store.find t (key_of "b"));
+  Store.close t
+
+(* disarming really is zero-cost: the append proceeds untouched *)
+let test_crash_disarm () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  Store.inject_crash t (Store.Crash_after_bytes 3);
+  Store.crash_disarm t;
+  Alcotest.(check bool) "disarmed" false (Store.crash_armed t <> None);
+  Alcotest.(check bool) "append proceeds" true
+    (Store.append t ~key:(key_of "a") ~value:"alpha");
+  Store.close t
+
+(* the CI torture bar: 300 seeded append/crash/reopen cycles with the
+   sharp invariants of Torture.verify at every reopen *)
+let test_torture_300 () =
+  with_log @@ fun path ->
+  match Torture.run ~seed:2026 ~iterations:300 ~path () with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.(check int) "all iterations ran" 300 r.Torture.iterations;
+    Alcotest.(check bool) "every crash class actually fired" true
+      (r.Torture.crashes_mid_write > 0
+      && r.Torture.crashes_mid_header > 0
+      && r.Torture.crashes_before_sync > 0
+      && r.Torture.abandons > 0);
+    Alcotest.(check bool) "torn tails were cut and accounted" true
+      (r.Torture.torn_tails > 0 && r.Torture.torn_bytes > 0)
+
+(* and the contract holds whatever the seed, not just the CI one *)
+let prop_torture_any_seed =
+  QCheck.Test.make ~name:"store: torture invariants hold for arbitrary seeds"
+    ~count:8
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let path = tmp_path () in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          match Torture.run ~seed ~iterations:40 ~path () with
+          | Ok _ -> true
+          | Error msg -> QCheck.Test.fail_report msg))
+
+(* satellite: lazy-fsync durability — everything appended before an
+   explicit sync must survive an abandoned handle, and the sync counter
+   must reflect the policy (no syncs on Interval appends, none on Never) *)
+let prop_interval_presync_survives =
+  QCheck.Test.make
+    ~name:"store: Interval fsync — synced prefix survives an abandoned handle"
+    ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 6))
+    (fun (pre, post) ->
+      let path = tmp_path () in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let t = open_ok ~fsync:(Store.Interval 3600.) path in
+          for i = 1 to pre do
+            ignore
+              (Store.append t
+                 ~key:(key_of (Printf.sprintf "pre-%d" i))
+                 ~value:(string_of_int i))
+          done;
+          if (Store.stats t).Store.syncs <> 0 then
+            QCheck.Test.fail_report "Interval appends must not fsync";
+          Store.sync t;
+          if (Store.stats t).Store.syncs <> 1 then
+            QCheck.Test.fail_report "explicit sync not counted";
+          for i = 1 to post do
+            ignore
+              (Store.append t
+                 ~key:(key_of (Printf.sprintf "post-%d" i))
+                 ~value:(string_of_int i))
+          done;
+          Store.abandon t;
+          let t = open_ok path in
+          let ok = ref ((Store.stats t).Store.torn_truncations = 0) in
+          for i = 1 to pre do
+            if
+              Store.find t (key_of (Printf.sprintf "pre-%d" i))
+              <> Some (string_of_int i)
+            then ok := false
+          done;
+          Store.close t;
+          !ok))
+
+let test_fsync_policy_counters () =
+  with_log @@ fun path ->
+  let t = open_ok path in
+  ignore (Store.append t ~key:(key_of "a") ~value:"v");
+  ignore (Store.append t ~key:(key_of "b") ~value:"v");
+  Alcotest.(check int) "Always: one fsync per acked append" 2
+    (Store.stats t).Store.syncs;
+  Store.close t;
+  with_log @@ fun path2 ->
+  let t = open_ok ~fsync:Store.Never path2 in
+  ignore (Store.append t ~key:(key_of "a") ~value:"v");
+  Alcotest.(check int) "Never: appends issue no fsync" 0
+    (Store.stats t).Store.syncs;
+  Store.close t
+
 (* QCheck: replay(append xs) == xs for arbitrary corpora *)
 let prop_replay_recovers =
   let gen =
@@ -235,5 +405,19 @@ let suite =
         test_foreign_and_future_files_refused;
       Alcotest.test_case "write-through cache glue" `Quick
         test_write_through_cache;
+      Alcotest.test_case "crash-point: torn mid-record" `Quick
+        test_crash_after_bytes;
+      Alcotest.test_case "crash-point: torn mid-header" `Quick
+        test_crash_mid_header;
+      Alcotest.test_case "crash-point: before the fsync" `Quick
+        test_crash_before_sync;
+      Alcotest.test_case "crash-point: disarm is a no-op" `Quick
+        test_crash_disarm;
+      Alcotest.test_case "torture: 300 seeded crash/reopen cycles" `Quick
+        test_torture_300;
+      Alcotest.test_case "fsync policy drives the sync counter" `Quick
+        test_fsync_policy_counters;
+      QCheck_alcotest.to_alcotest prop_torture_any_seed;
+      QCheck_alcotest.to_alcotest prop_interval_presync_survives;
       QCheck_alcotest.to_alcotest prop_replay_recovers;
     ] )
