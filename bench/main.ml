@@ -75,6 +75,21 @@ let bechamel_tests () =
         ignore (Ts_checker.Explore.check_consensus (Broken.last_write_wins ~n:2)
                   ~inputs_list:(Ts_checker.Explore.binary_inputs 2) ~max_configs:10_000
                   ~max_depth:30 ~solo_budget:50 ~check_solo:false)));
+    (* E24: auditing an answer vs producing it.  The e1 workload above is
+       the producer; these two time building the certificate from an
+       already-won Theorem-1 run and micro-checking its bytes. *)
+    (let proto = Racing.make ~n:2 in
+     let t = Valency.create proto ~horizon:40 in
+     let thm = Theorem.theorem1 t in
+     Test.make ~name:"e24-cert-build-racing2" (stage (fun () ->
+         ignore (Ts_cert.Cert.of_theorem proto thm))));
+    (let proto = Racing.make ~n:2 in
+     let t = Valency.create proto ~horizon:40 in
+     let bytes = Ts_cert.Cert.to_string (Ts_cert.Cert.of_theorem proto (Theorem.theorem1 t)) in
+     Test.make ~name:"e24-microcheck-racing2" (stage (fun () ->
+         match Ts_microcheck.Microcheck.check_string bytes with
+         | Ok () -> ()
+         | Error e -> failwith e)));
   ]
 
 (* Search-engine observability: run the e14 and e5/e6 workloads once more

@@ -90,8 +90,35 @@ let install_flush_handler ?flush () =
         Format.eprintf "engine metrics (partial):@.%a@." Obs.Metrics.pp_snapshot
           (Obs.Metrics.snapshot ()))
 
+(* Certificate emission for witness/check/resilient.  The artifact is
+   self-checked through the independent micro-checker before it is
+   written: shipping a certificate our own checker rejects would be a
+   bug, not an answer.  Status goes to stderr so --json stdout stays a
+   single document. *)
+let write_certificate ~file cert =
+  let s = Ts_cert.Cert.to_string cert in
+  match Ts_cert.Cert.microcheck_string s with
+  | Error e ->
+    Format.eprintf "certificate self-check FAILED (nothing written): %s@." e;
+    false
+  | Ok () ->
+    let oc = open_out_bin file in
+    output_string oc s;
+    close_out oc;
+    Format.eprintf "certificate written to %s (%d bytes)@." file
+      (String.length s);
+    true
+
+let certificate_arg =
+  Arg.(value & opt (some string) None
+       & info [ "certificate" ] ~docv:"FILE"
+           ~doc:"Write a self-contained witness certificate (canonical JSON, \
+                 independently checkable with $(b,tightspace certify)) to \
+                 FILE.  Witness needs a complete construction; check and \
+                 resilient need a violation.")
+
 (* witness *)
-let witness n horizon protocol diagram deadline max_nodes metrics json =
+let witness n horizon protocol diagram deadline max_nodes metrics json certificate =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
@@ -120,7 +147,13 @@ let witness n horizon protocol diagram deadline max_nodes metrics json =
          | Ok () -> Format.printf "independent replay: verified.@."
          | Error e -> Format.printf "replay FAILED: %s@." e
        end;
-       (match verified with Ok () -> 0 | Error _ -> 1)
+       let cert_ok =
+         match certificate with
+         | None -> true
+         | Some file ->
+           write_certificate ~file (Ts_cert.Cert.of_theorem proto cert)
+       in
+       (match verified with Ok () when cert_ok -> 0 | _ -> 1)
      | Theorem.Partial (stop, progress) ->
        if json then
          pr_json
@@ -135,6 +168,8 @@ let witness n horizon protocol diagram deadline max_nodes metrics json =
          | Theorem.Out_of_budget _ ->
            Format.printf "hint: raise --deadline / --max-nodes and rerun.@."
        end;
+       if certificate <> None then
+         Format.eprintf "no certificate: the construction was partial.@.";
        2
      | exception Failure msg ->
        if json then
@@ -153,7 +188,8 @@ let witness_cmd =
   in
   Cmd.v (Cmd.info "witness" ~doc:"Run the Zhu Theorem-1 adversary")
     Term.(const witness $ n_arg $ horizon_arg $ protocol_arg $ diagram
-          $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg)
+          $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg
+          $ certificate_arg)
 
 (* check: shared result reporting for the exploration subcommands.
 
@@ -202,25 +238,44 @@ let domains_arg =
   Arg.(value & opt int 1
        & info [ "domains" ] ~docv:"D" ~doc:"Check input vectors on D domains.")
 
-let check n protocol max_configs max_depth domains deadline max_nodes metrics json =
+(* A violation is the only checkable claim these subcommands produce; a
+   clean verdict is a bounded guarantee with no finite witness to
+   certify. *)
+let certify_violation ~certificate proto (r : Ts_checker.Explore.result) =
+  match certificate with
+  | None -> true
+  | Some file -> (
+    match r.Ts_checker.Explore.verdict with
+    | Error v ->
+      write_certificate ~file (Ts_cert.Cert.of_violation proto v)
+    | Ok () ->
+      Format.eprintf "no certificate: no violation was found.@.";
+      true)
+
+let check n protocol max_configs max_depth domains deadline max_nodes metrics json certificate =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
     install_flush_handler ();
     with_metrics metrics @@ fun () ->
-    report_explore ~json
-      (Ts_checker.Explore.check_consensus proto ~domains
-         ~budget:(budget_of ?deadline ?max_nodes ())
-         ~inputs_list:(Ts_checker.Explore.binary_inputs n) ~max_configs ~max_depth
-         ~solo_budget:300 ~check_solo:true)
+    let r =
+      Ts_checker.Explore.check_consensus proto ~domains
+        ~budget:(budget_of ?deadline ?max_nodes ())
+        ~inputs_list:(Ts_checker.Explore.binary_inputs n) ~max_configs ~max_depth
+        ~solo_budget:300 ~check_solo:true
+    in
+    let cert_ok = certify_violation ~certificate proto r in
+    let code = report_explore ~json r in
+    if cert_ok then code else 1
 
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Bounded model-check a protocol")
     Term.(const check $ n_arg $ protocol_arg $ max_configs_arg $ max_depth_arg
-          $ domains_arg $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg)
+          $ domains_arg $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg
+          $ certificate_arg)
 
 (* resilient *)
-let resilient n t protocol max_configs max_depth domains deadline max_nodes metrics json =
+let resilient n t protocol max_configs max_depth domains deadline max_nodes metrics json certificate =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
@@ -244,7 +299,9 @@ let resilient n t protocol max_configs max_depth domains deadline max_nodes metr
      | Some (Error e) when not json ->
        Format.printf "witness replay FAILED: %s@." e
      | _ -> ());
-    report_explore ~json ?replay r
+    let cert_ok = certify_violation ~certificate proto r in
+    let code = report_explore ~json ?replay r in
+    if cert_ok then code else 1
 
 let resilient_cmd =
   let t =
@@ -256,7 +313,7 @@ let resilient_cmd =
        ~doc:"Check t-resilient termination under crash-stop faults")
     Term.(const resilient $ n_arg $ t $ protocol_arg $ max_configs_arg
           $ max_depth_arg $ domains_arg $ deadline_arg $ max_nodes_arg
-          $ metrics_arg $ json_arg)
+          $ metrics_arg $ json_arg $ certificate_arg)
 
 (* jtt *)
 let jtt n obj =
@@ -535,35 +592,52 @@ let trace_cmd =
           $ metrics_arg $ deadline_arg $ max_nodes_arg)
 
 (* analyze *)
-let analyze all protocol json domains =
+let analyze all protocol json domains certify =
   let module A = Ts_analysis.Analyze in
   let pr_json j =
     print_endline (Ts_analysis.Json.to_string_pretty j)
   in
-  if all then begin
-    let o = A.analyze_all ~domains () in
-    if json then pr_json (A.overall_to_json o)
-    else Format.printf "%a@." A.pp_overall o;
-    if o.A.ok then 0 else 1
-  end
-  else
-    match protocol with
-    | None ->
-      prerr_endline "analyze: pass --all or --protocol NAME";
-      2
-    | Some name ->
-      (match Ts_analysis.Registry.find name with
-       | None ->
-         Printf.eprintf "analyze: unknown protocol %s (known: %s)\n" name
-           (String.concat ", " (Ts_analysis.Registry.names ()));
-         2
-       | Some entry ->
-         let r = A.analyze ~domains entry in
-         if json then pr_json (A.report_to_json r)
-         else Format.printf "%a@." A.pp_report r;
-         (* single-protocol mode gates on the protocol itself: flagged means
-            defective, whatever the registry expected *)
-         if r.A.flagged then 1 else 0)
+  let base =
+    if all then begin
+      let o = A.analyze_all ~domains () in
+      if json then pr_json (A.overall_to_json o)
+      else Format.printf "%a@." A.pp_overall o;
+      if o.A.ok then 0 else 1
+    end
+    else
+      match protocol with
+      | None ->
+        if certify then 0
+        else begin
+          prerr_endline "analyze: pass --all, --protocol NAME or --certify";
+          2
+        end
+      | Some name ->
+        (match Ts_analysis.Registry.find name with
+         | None ->
+           Printf.eprintf "analyze: unknown protocol %s (known: %s)\n" name
+             (String.concat ", " (Ts_analysis.Registry.names ()));
+           2
+         | Some entry ->
+           let r = A.analyze ~domains entry in
+           if json then pr_json (A.report_to_json r)
+           else Format.printf "%a@." A.pp_report r;
+           (* single-protocol mode gates on the protocol itself: flagged means
+              defective, whatever the registry expected *)
+           if r.A.flagged then 1 else 0)
+  in
+  let certified =
+    if not certify then 0
+    else begin
+      let module C = Ts_analysis.Certify in
+      let r = C.run ~domains () in
+      if json then pr_json (C.report_to_json r)
+      else Format.printf "%a@." C.pp_report r;
+      if r.C.ok then 0 else 1
+    end
+  in
+  (* with both passes requested, either failing fails the gate *)
+  max base certified
 
 let analyze_cmd =
   let all =
@@ -577,11 +651,19 @@ let analyze_cmd =
          & info [ "protocol" ] ~docv:"NAME" ~doc:"Analyze a single registered protocol.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.") in
+  let certify =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"Run the gating certificate pass: harvest every registry \
+                   entry's witnesses, demand the independent micro-checker \
+                   and the engine replay accept each one, and demand every \
+                   tampered variant is rejected.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the static analyzers: footprint lint, determinism checker, \
-             bounded property pass, engine race detector")
-    Term.(const analyze $ all $ protocol $ json $ domains_arg)
+             bounded property pass, engine race detector, certificate gate")
+    Term.(const analyze $ all $ protocol $ json $ domains_arg $ certify)
 
 let cover_cmd =
   let alg =
@@ -723,7 +805,8 @@ let serve_cmd =
 
 (* query *)
 let query host port opname protocol n horizon seed max_configs max_depth
-    solo_budget t_faults deadline max_nodes id raw retries timeout_ms =
+    solo_budget t_faults deadline max_nodes id raw retries timeout_ms
+    certificate =
   let module C = Ts_service.Client in
   match raw with
   | Some bytes -> (
@@ -761,6 +844,7 @@ let query host port opname protocol n horizon seed max_configs max_depth
           max_depth;
           solo_budget;
           t_faults;
+          certificate;
           deadline;
           max_nodes;
         }
@@ -826,16 +910,119 @@ let query_cmd =
          & info [ "timeout-ms" ] ~docv:"MS"
              ~doc:"Per-attempt deadline in milliseconds; 0 disables it.")
   in
+  let certificate =
+    Arg.(value & flag
+         & info [ "certificate" ]
+             ~doc:"Ask the daemon to embed a witness certificate in the \
+                   answer (witness, check and resilient; cache-key \
+                   material, so certified and plain answers are distinct \
+                   cache entries).")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Send one request to a running serve daemon and print the \
              response document")
     Term.(const query $ host $ port $ op $ protocol_arg $ n_arg $ horizon_arg
           $ seed_arg $ max_configs_arg $ max_depth_arg $ solo_budget $ t_faults
-          $ deadline_arg $ max_nodes_arg $ id $ raw $ retries $ timeout_ms)
+          $ deadline_arg $ max_nodes_arg $ id $ raw $ retries $ timeout_ms
+          $ certificate)
+
+(* certify: the independent micro-checker as a standalone subcommand.
+   Deliberately bypasses ts_cert's engine-side validation: this is the
+   auditor's path, and it must work from the certificate bytes alone. *)
+let certify_files files json =
+  let module J = Ts_analysis.Json in
+  let check_file f =
+    match In_channel.with_open_bin f In_channel.input_all with
+    | exception Sys_error msg -> `Unreadable msg
+    | bytes -> (
+      match Ts_microcheck.Microcheck.check_string bytes with
+      | Ok () -> `Valid
+      | Error e -> `Rejected e)
+  in
+  let results = List.map (fun f -> (f, check_file f)) files in
+  if json then
+    pr_json
+      (J.List
+         (List.map
+            (fun (f, r) ->
+              J.Obj
+                [
+                  ("file", J.Str f);
+                  ("verdict",
+                   J.Str
+                     (match r with
+                      | `Valid -> "valid"
+                      | `Rejected _ -> "rejected"
+                      | `Unreadable _ -> "unreadable"));
+                  ("detail",
+                   match r with
+                   | `Valid -> J.Null
+                   | `Rejected e | `Unreadable e -> J.Str e);
+                ])
+            results))
+  else
+    List.iter
+      (fun (f, r) ->
+        match r with
+        | `Valid -> Format.printf "%s: valid@." f
+        | `Rejected e -> Format.printf "%s: REJECTED (%s)@." f e
+        | `Unreadable e -> Format.printf "%s: unreadable (%s)@." f e)
+      results;
+  if List.exists (fun (_, r) -> match r with `Unreadable _ -> true | _ -> false)
+       results
+  then 2
+  else if
+    List.exists (fun (_, r) -> match r with `Rejected _ -> true | _ -> false)
+      results
+  then 3
+  else 0
+
+let certify_cmd =
+  let files =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"Certificate files (canonical JSON).")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Check witness certificates with the independent stdlib-only \
+             micro-checker (exit 3 if any certificate is rejected, 2 if a \
+             file cannot be read)")
+    Term.(const certify_files $ files $ json_arg)
 
 (* store: offline inspection of a witness log *)
-let store_inspect path json keys =
+
+(* --audit: replay every recovered record's embedded certificate through
+   the independent micro-checker.  A record whose answer carries no
+   certificate is reported but does not fail the audit (plain cached
+   answers are legitimate); a certificate the checker rejects does. *)
+let audit_store st =
+  let module S = Ts_store.Store in
+  let module J = Ts_analysis.Json in
+  let keys = ref [] in
+  S.iter st (fun k _ -> keys := k :: !keys);
+  List.rev_map
+    (fun k ->
+      let verdict =
+        match S.find st k with
+        | None -> Error "indexed record unreadable"
+        | Some value -> (
+          match J.of_string value with
+          | Error e -> Error ("stored answer is not JSON: " ^ e)
+          | Ok doc -> (
+            match J.member "certificate" doc with
+            | None -> Ok `Nocert
+            | Some cert -> (
+              match
+                Ts_microcheck.Microcheck.check_string (J.to_string cert)
+              with
+              | Ok () -> Ok `Pass
+              | Error e -> Error e)))
+      in
+      (k, verdict))
+    !keys
+
+let store_inspect path json keys audit =
   let module S = Ts_store.Store in
   match S.open_ ~fsync:S.Never path with
   | Error msg ->
@@ -846,6 +1033,7 @@ let store_inspect path json keys =
       ~finally:(fun () -> S.close st)
       (fun () ->
         let s = S.stats st in
+        let audit_results = if audit then Some (audit_store st) else None in
         if json then begin
           let module J = Ts_analysis.Json in
           let key_list =
@@ -863,6 +1051,30 @@ let store_inspect path json keys =
               [ ("keys", J.List (List.rev !acc)) ]
             end
           in
+          let audit_list =
+            match audit_results with
+            | None -> []
+            | Some results ->
+              [ ("audit",
+                 J.List
+                   (List.map
+                      (fun (k, verdict) ->
+                        J.Obj
+                          [
+                            ("key", J.Str (Ts_model.Ckey.to_hex k));
+                            ("verdict",
+                             J.Str
+                               (match verdict with
+                                | Ok `Pass -> "pass"
+                                | Ok `Nocert -> "no-certificate"
+                                | Error _ -> "fail"));
+                            ("detail",
+                             match verdict with
+                             | Ok _ -> J.Null
+                             | Error e -> J.Str e);
+                          ])
+                      results)) ]
+          in
           pr_json
             (J.Obj
                ([
@@ -870,18 +1082,49 @@ let store_inspect path json keys =
                   ("version", J.Int S.store_version);
                   ("stats", Ts_service.Response.store_stats_to_json s);
                 ]
-               @ key_list))
+               @ key_list @ audit_list))
         end
         else begin
           Format.printf "witness log %s (format v%d)@.%a@." (S.path st)
             S.store_version S.pp_stats s;
           if keys then
             S.iter st (fun k vlen ->
-                Format.printf "  %s  %d bytes@." (Ts_model.Ckey.to_hex k) vlen)
+                Format.printf "  %s  %d bytes@." (Ts_model.Ckey.to_hex k) vlen);
+          match audit_results with
+          | None -> ()
+          | Some results ->
+            let pass = ref 0 and nocert = ref 0 and fail = ref 0 in
+            List.iter
+              (fun (k, verdict) ->
+                match verdict with
+                | Ok `Pass ->
+                  incr pass;
+                  Format.printf "  %s  certificate pass@."
+                    (Ts_model.Ckey.to_hex k)
+                | Ok `Nocert ->
+                  incr nocert;
+                  Format.printf "  %s  no certificate@."
+                    (Ts_model.Ckey.to_hex k)
+                | Error e ->
+                  incr fail;
+                  Format.printf "  %s  certificate FAIL: %s@."
+                    (Ts_model.Ckey.to_hex k) e)
+              results;
+            Format.printf "audit: %d pass, %d without certificate, %d fail@."
+              !pass !nocert !fail
         end;
+        let audit_failed =
+          match audit_results with
+          | None -> false
+          | Some results ->
+            List.exists
+              (fun (_, verdict) -> Result.is_error verdict)
+              results
+        in
         (* a truncation performed during this open is worth a loud exit:
-           the log was damaged, even though it is now repaired *)
-        if s.S.torn_truncations > 0 then 1 else 0)
+           the log was damaged, even though it is now repaired — as is a
+           recovered answer whose certificate no longer checks out *)
+        if s.S.torn_truncations > 0 || audit_failed then 1 else 0)
 
 let store_cmd =
   let path =
@@ -893,11 +1136,19 @@ let store_cmd =
     Arg.(value & flag
          & info [ "keys" ] ~doc:"List every stored cache key and its answer size.")
   in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"Replay every recovered record's embedded certificate \
+                   through the independent micro-checker; exit 1 if any \
+                   certificate is rejected.")
+  in
   Cmd.v
     (Cmd.info "store"
        ~doc:"Inspect a persistent witness log: record counts, recovery \
-             status, stored keys (exit 1 if a torn tail was truncated)")
-    Term.(const store_inspect $ path $ json $ keys)
+             status, stored keys, certificate audit (exit 1 if a torn tail \
+             was truncated or an audited certificate fails)")
+    Term.(const store_inspect $ path $ json $ keys $ audit)
 
 (* chaos: the fault-injection layer as a CLI — a standalone seeded proxy
    to put in front of a serve daemon, and the store crash-torture loop *)
@@ -1069,8 +1320,8 @@ let () =
            [
              witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
              encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
-             dot_cmd; cover_cmd; analyze_cmd; trace_cmd; serve_cmd; query_cmd;
-             store_cmd; chaos_cmd;
+             dot_cmd; cover_cmd; analyze_cmd; certify_cmd; trace_cmd;
+             serve_cmd; query_cmd; store_cmd; chaos_cmd;
            ])
     with
     | Valency.Horizon_exceeded msg ->

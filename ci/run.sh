@@ -246,4 +246,74 @@ timeout 600 "$TS" chaos torture --iterations 300 --seed 2026 \
 grep -q '"iterations":300' /tmp/torture.json
 rm -f "$TORTURE_LOG"
 
+echo "== certificate gate (witness corpus + micro-checker + tamper rejection; 10 min cap) =="
+# the trust base must stay minimal: the micro-checker's dune stanza may
+# never grow a (libraries ...) field — stdlib only, enforced here
+if grep -q "(libraries" lib/cert/microcheck/dune; then
+  echo "ci: lib/cert/microcheck must not depend on any library" >&2
+  exit 1
+fi
+# the gating pass: every registry witness certifies (micro-checker AND
+# engine replay), every tampered variant is rejected
+timeout 600 dune exec bin/tightspace.exe -- analyze --certify --json \
+  > /tmp/certify-gate.json
+grep -q '"ok": true' /tmp/certify-gate.json
+# a small on-disk corpus through the standalone checker
+CERTDIR=/tmp/ci-certs-$$
+mkdir -p "$CERTDIR"
+timeout 300 "$TS" witness --protocol racing -n 2 \
+  --certificate "$CERTDIR/racing.cert" > /dev/null
+# the violation subcommands exit 1 when they find what they are sent to
+# find; the certificate is the point here, not the exit code
+timeout 300 "$TS" check --protocol broken-lww -n 2 \
+  --certificate "$CERTDIR/broken-lww.cert" > /dev/null || true
+timeout 300 "$TS" resilient --protocol broken-wait -n 2 -t 1 \
+  --certificate "$CERTDIR/broken-wait.cert" > /dev/null || true
+for f in racing broken-lww broken-wait; do
+  [ -s "$CERTDIR/$f.cert" ] || {
+    echo "ci: no certificate was written for $f" >&2; exit 1; }
+done
+timeout 60 "$TS" certify "$CERTDIR"/*.cert
+# flip one byte mid-certificate: the checker must reject with exit 3
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$CERTDIR/racing.cert" "$CERTDIR/tampered.cert" <<'PYFLIP'
+import sys
+b = bytearray(open(sys.argv[1], "rb").read())
+b[len(b) // 2] ^= 0x01
+open(sys.argv[2], "wb").write(bytes(b))
+PYFLIP
+  set +e
+  timeout 60 "$TS" certify "$CERTDIR/tampered.cert" > /dev/null
+  RC=$?
+  set -e
+  if [ "$RC" -ne 3 ]; then
+    echo "ci: tampered certificate exited $RC, want 3" >&2
+    exit 1
+  fi
+fi
+# certified answers survive the store: persist one, then audit the log
+AUDIT_STORE=/tmp/ci-auditlog-$$.log
+rm -f "$AUDIT_STORE"
+"$TS" serve --port 0 --workers 2 --store "$AUDIT_STORE" > /tmp/serve-audit.out 2>&1 &
+SERVE_PID=$!
+PORT=""
+i=0
+while [ -z "$PORT" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "ci: audit serve did not announce a port" >&2; cat /tmp/serve-audit.out >&2
+    kill "$SERVE_PID" 2> /dev/null || true; exit 1
+  fi
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' /tmp/serve-audit.out)
+  [ -n "$PORT" ] || sleep 0.2
+done
+timeout 300 "$TS" query witness --port "$PORT" --protocol racing -n 2 \
+  --certificate > /tmp/q-certified.json
+grep -q '"certificate"' /tmp/q-certified.json
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+timeout 60 "$TS" store "$AUDIT_STORE" --audit > /tmp/store-audit.out
+grep -q "certificate pass" /tmp/store-audit.out
+rm -rf "$CERTDIR" "$AUDIT_STORE"
+
 echo "ci: ok"

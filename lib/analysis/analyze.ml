@@ -12,6 +12,8 @@ type overall = {
   reports : protocol_report list;
   engine : Race.report;
   planted : Race.report;
+  unregistered : string list;
+  uncataloged : string list;
   ok : bool;
 }
 
@@ -85,12 +87,22 @@ let analyze_all ?(domains = 1) () =
   let reports = List.map (analyze ~domains) (Registry.all ()) in
   let engine = Race.certify_engine ~domains:(max 2 domains) () in
   let planted = Race.planted () in
+  (* Registry drift: every protocol the CLI catalog ships must be
+     registered here (and vice versa), or the gate fails loudly — a new
+     protocol cannot slip past the analyzers by simply never being
+     registered. *)
+  let registered = Registry.names () in
+  let cataloged = Ts_protocols.Catalog.names () in
+  let missing_from xs ys = List.filter (fun x -> not (List.mem x ys)) xs in
+  let unregistered = missing_from cataloged registered in
+  let uncataloged = missing_from registered cataloged in
   let ok =
     List.for_all (fun (r : protocol_report) -> r.ok) reports
     && Race.race_free engine
     && not (Race.race_free planted)
+    && unregistered = [] && uncataloged = []
   in
-  { reports; engine; planted; ok }
+  { reports; engine; planted; unregistered; uncataloged; ok }
 
 let report_to_json r =
   Json.Obj
@@ -111,6 +123,10 @@ let overall_to_json o =
       "engine_race_check", Race.to_json o.engine;
       "planted_race_check", Race.to_json o.planted;
       "planted_race_caught", Json.Bool (not (Race.race_free o.planted));
+      "unregistered_protocols",
+      Json.List (List.map (fun s -> Json.Str s) o.unregistered);
+      "uncataloged_protocols",
+      Json.List (List.map (fun s -> Json.Str s) o.uncataloged);
     ]
 
 let pp_report ppf r =
@@ -123,9 +139,19 @@ let pp_report ppf r =
     r.findings
 
 let pp_overall ppf o =
-  Fmt.pf ppf "@[<v>%a@,engine race check: %a@,planted race check: %a (%s)@,overall: %s@]"
+  Fmt.pf ppf "@[<v>%a@,engine race check: %a@,planted race check: %a (%s)%a%a@,overall: %s@]"
     (Fmt.list ~sep:Fmt.cut pp_report) o.reports
     Race.pp_report o.engine Race.pp_report o.planted
     (if Race.race_free o.planted then "NOT caught — detector is blind"
      else "caught, as required")
+    (fun ppf -> function
+      | [] -> ()
+      | l -> Fmt.pf ppf "@,UNREGISTERED protocols (in catalog, not in registry): %s"
+               (String.concat ", " l))
+    o.unregistered
+    (fun ppf -> function
+      | [] -> ()
+      | l -> Fmt.pf ppf "@,UNCATALOGED protocols (registered, not in catalog): %s"
+               (String.concat ", " l))
+    o.uncataloged
     (if o.ok then "PASS" else "FAIL")

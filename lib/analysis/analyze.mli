@@ -31,6 +31,11 @@ type overall = {
   reports : protocol_report list;
   engine : Race.report;  (** instrumented parallel search, must be race-free *)
   planted : Race.report;  (** planted-race fixture, must NOT be race-free *)
+  unregistered : string list;
+      (** protocols in {!Ts_protocols.Catalog} missing from the registry —
+          drift that would let a new protocol dodge the analyzers; gating *)
+  uncataloged : string list;
+      (** registered protocols missing from the catalog; gating *)
   ok : bool;
 }
 

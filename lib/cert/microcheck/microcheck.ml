@@ -1,0 +1,636 @@
+(* The certificate micro-checker.  Stdlib only — see the .mli and the dune
+   stanza: this file must not acquire engine dependencies. *)
+
+let supported_cert_version = 1
+
+(* --- JSON ------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* Canonical serializer: compact, fields in order, strings escape only
+     what RFC 8259 requires.  Digests are computed over this rendering. *)
+
+  let add_escaped buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Str s -> add_escaped buf s
+    | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf v)
+          l;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            add_escaped buf k;
+            Buffer.add_char buf ':';
+            write buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  (* Parser: recursive descent.  Certificates carry no floats, so numbers
+     with a fraction or exponent are rejected outright. *)
+
+  exception Parse of int * string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some got when got = c -> advance ()
+      | Some got -> fail (Printf.sprintf "expected %c, got %c" c got)
+      | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then (
+        pos := !pos + l;
+        value)
+      else fail ("invalid literal, expected " ^ word)
+    in
+    let add_utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then (
+        Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f))))
+      else if cp < 0x10000 then (
+        Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f))))
+      else (
+        Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f))))
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = ref 0 in
+      for _ = 1 to 4 do
+        let d =
+          match s.[!pos] with
+          | '0' .. '9' as c -> Char.code c - Char.code '0'
+          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+          | _ -> fail "bad hex digit in \\u escape"
+        in
+        v := (!v * 16) + d;
+        advance ()
+      done;
+      !v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' -> (
+            advance ();
+            if !pos >= n then fail "truncated escape";
+            let c = s.[!pos] in
+            advance ();
+            match c with
+            | '"' -> Buffer.add_char buf '"'; go ()
+            | '\\' -> Buffer.add_char buf '\\'; go ()
+            | '/' -> Buffer.add_char buf '/'; go ()
+            | 'n' -> Buffer.add_char buf '\n'; go ()
+            | 'r' -> Buffer.add_char buf '\r'; go ()
+            | 't' -> Buffer.add_char buf '\t'; go ()
+            | 'b' -> Buffer.add_char buf '\b'; go ()
+            | 'f' -> Buffer.add_char buf '\012'; go ()
+            | 'u' ->
+                let cp = hex4 () in
+                let cp =
+                  if cp >= 0xd800 && cp <= 0xdbff then (
+                    (* high surrogate: a low surrogate must follow *)
+                    if
+                      !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                    then (
+                      pos := !pos + 2;
+                      let lo = hex4 () in
+                      if lo < 0xdc00 || lo > 0xdfff then
+                        fail "unpaired surrogate"
+                      else
+                        0x10000
+                        + ((cp - 0xd800) lsl 10)
+                        + (lo - 0xdc00))
+                    else fail "unpaired surrogate")
+                  else if cp >= 0xdc00 && cp <= 0xdfff then
+                    fail "unpaired surrogate"
+                  else cp
+                in
+                add_utf8 buf cp;
+                go ()
+            | _ -> fail "unknown escape")
+        | c when Char.code c < 0x20 -> fail "raw control character in string"
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_int () =
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      if not (match peek () with Some '0' .. '9' -> true | _ -> false) then
+        fail "expected digit";
+      while match peek () with Some '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      (match peek () with
+      | Some ('.' | 'e' | 'E') -> fail "floats are not allowed in certificates"
+      | _ -> ());
+      match int_of_string_opt (String.sub s start (!pos - start)) with
+      | Some i -> i
+      | None -> fail "integer out of range"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some ('-' | '0' .. '9') -> Int (parse_int ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (
+            advance ();
+            List [])
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected , or ] in array"
+            in
+            items []
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (
+            advance ();
+            Obj [])
+          else
+            let field () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              (k, v)
+            in
+            let rec fields acc =
+              let k, v = field () in
+              if List.mem_assoc k acc then fail ("duplicate key " ^ k);
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected , or } in object"
+            in
+            fields []
+      | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage after document";
+      v
+    with
+    | v -> Ok v
+    | exception Parse (p, msg) ->
+        Error (Printf.sprintf "parse error at byte %d: %s" p msg)
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let rec equal a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Bool x, Bool y -> x = y
+    | Int x, Int y -> x = y
+    | Str x, Str y -> String.equal x y
+    | List x, List y -> List.equal equal x y
+    | Obj x, Obj y ->
+        List.equal
+          (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+          x y
+    | _ -> false
+end
+
+(* --- digest ----------------------------------------------------------- *)
+
+let fnv64_hex s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* --- the checker ------------------------------------------------------ *)
+
+open Json
+
+let ( let* ) = Result.bind
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let field name doc =
+  match member name doc with
+  | Some v -> Ok v
+  | None -> errf "missing field %s" name
+
+let int_field name doc =
+  match member name doc with
+  | Some (Int i) -> Ok i
+  | Some _ -> errf "field %s is not an integer" name
+  | None -> errf "missing field %s" name
+
+let str_field name doc =
+  match member name doc with
+  | Some (Str s) -> Ok s
+  | Some _ -> errf "field %s is not a string" name
+  | None -> errf "missing field %s" name
+
+let list_field name doc =
+  match member name doc with
+  | Some (List l) -> Ok l
+  | Some _ -> errf "field %s is not an array" name
+  | None -> errf "missing field %s" name
+
+(* Register values in a certificate are the engine's value universe mapped
+   onto JSON: Bot -> null, Int, Bool, Pair -> {"fst":_,"snd":_},
+   List -> array.  The checker only needs well-formedness and structural
+   equality. *)
+let rec well_formed_value = function
+  | Null | Int _ | Bool _ -> true
+  | Obj [ ("fst", a); ("snd", b) ] -> well_formed_value a && well_formed_value b
+  | List l -> List.for_all well_formed_value l
+  | Str _ | Obj _ -> false
+
+let value_field name doc =
+  let* v = field name doc in
+  if well_formed_value v then Ok v
+  else errf "field %s is not a well-formed register value" name
+
+(* Strictly increasing register/process index lists (sorted, distinct). *)
+let index_list name ~limit doc =
+  let* l = list_field name doc in
+  let rec go prev = function
+    | [] -> Ok ()
+    | Int i :: rest ->
+        if i < 0 || i >= limit then errf "%s: index %d out of range" name i
+        else if i <= prev then errf "%s: not strictly increasing" name
+        else go i rest
+    | _ -> errf "%s: non-integer element" name
+  in
+  let* () = go (-1) l in
+  Ok (List.map (function Int i -> i | _ -> assert false) l)
+
+let expected_fields =
+  [
+    "cert_version"; "kind"; "protocol"; "inputs"; "schedule"; "trace";
+    "final"; "state_digest"; "claim"; "digest";
+  ]
+
+(* One replayed step, as the checker understands it. *)
+type step =
+  | Read of int * Json.t
+  | Write of int * Json.t
+  | Swap of int * Json.t * Json.t  (* register, written, displaced *)
+  | Flip of bool
+  | Decide of Json.t
+
+let step_keys = function
+  | Read _ | Write _ -> [ "p"; "a"; "r"; "v" ]
+  | Swap _ -> [ "p"; "a"; "r"; "v"; "prev" ]
+  | Flip _ -> [ "p"; "a"; "coin" ]
+  | Decide _ -> [ "p"; "a"; "v" ]
+
+let parse_step i ~registers doc =
+  let* p = int_field "p" doc in
+  let* a = str_field "a" doc in
+  let* step =
+    match a with
+    | "read" | "write" | "swap" ->
+        let* r = int_field "r" doc in
+        if r < 0 || r >= registers then
+          errf "trace step %d: register %d out of range" i r
+        else
+          let* v = value_field "v" doc in
+          if a = "swap" then
+            let* prev = value_field "prev" doc in
+            Ok (Swap (r, v, prev))
+          else Ok (if a = "read" then Read (r, v) else Write (r, v))
+    | "flip" -> (
+        match member "coin" doc with
+        | Some (Bool b) -> Ok (Flip b)
+        | _ -> errf "trace step %d: flip without boolean coin" i)
+    | "decide" ->
+        let* v = value_field "v" doc in
+        Ok (Decide v)
+    | other -> errf "trace step %d: unknown action %s" i other
+  in
+  (* no stray fields: the digest already binds them, but a canonical step
+     carries exactly its own keys *)
+  match doc with
+  | Obj kvs ->
+      let allowed = step_keys step in
+      if List.for_all (fun (k, _) -> List.mem k allowed) kvs then Ok (p, step)
+      else errf "trace step %d: unexpected field" i
+  | _ -> errf "trace step %d: not an object" i
+
+let parse_schedule_event i doc =
+  match doc with
+  | Obj kvs ->
+      let* p = int_field "p" doc in
+      let* coin =
+        match member "coin" doc with
+        | None -> Ok None
+        | Some (Bool b) -> Ok (Some b)
+        | Some _ -> errf "schedule step %d: coin is not a boolean" i
+      in
+      if List.for_all (fun (k, _) -> k = "p" || k = "coin") kvs then
+        Ok (p, coin)
+      else errf "schedule step %d: unexpected field" i
+  | _ -> errf "schedule step %d: not an object" i
+
+(* Replay the trace over a fresh register file, checking legality of every
+   step against the schedule, and return the final registers + decisions. *)
+let replay ~n ~registers ~schedule ~trace =
+  let regs = Array.make registers Null in
+  let decided = Array.make n None in
+  let rec go i sched tr =
+    match (sched, tr) with
+    | [], [] -> Ok ()
+    | [], _ :: _ | _ :: _, [] ->
+        errf "schedule and trace have different lengths"
+    | sev :: sched, tev :: tr ->
+        let* sp, coin = parse_schedule_event i sev in
+        let* tp, step = parse_step i ~registers tev in
+        if sp < 0 || sp >= n then errf "schedule step %d: pid %d out of range" i sp
+        else if sp <> tp then
+          errf "step %d: schedule pid %d but trace pid %d" i sp tp
+        else if decided.(sp) <> None then
+          errf "step %d: process %d steps after deciding" i sp
+        else
+          let* () =
+            match (step, coin) with
+            | Flip b, Some c ->
+                if b = c then Ok ()
+                else errf "step %d: coin disagrees with schedule" i
+            | Flip _, None -> errf "step %d: flip without schedule coin" i
+            | _, Some _ -> errf "step %d: schedule coin on a non-flip step" i
+            | Read (r, v), None ->
+                if Json.equal regs.(r) v then Ok ()
+                else errf "step %d: read of register %d returned a stale value" i r
+            | Write (r, v), None ->
+                regs.(r) <- v;
+                Ok ()
+            | Swap (r, v, prev), None ->
+                if Json.equal regs.(r) prev then (
+                  regs.(r) <- v;
+                  Ok ())
+                else errf "step %d: swap displaced value mismatch on register %d" i r
+            | Decide v, None ->
+                decided.(sp) <- Some v;
+                Ok ()
+          in
+          go (i + 1) sched tr
+  in
+  let* () = go 0 schedule trace in
+  Ok (regs, decided)
+
+(* Distinct registers written (or swapped) in the trace, sorted. *)
+let written_registers trace =
+  let regs =
+    List.filter_map
+      (fun tev ->
+        match (member "a" tev, member "r" tev) with
+        | Some (Str ("write" | "swap")), Some (Int r) -> Some r
+        | _ -> None)
+      trace
+  in
+  List.sort_uniq compare regs
+
+let check_claim ~kind ~n ~registers ~inputs ~trace ~decided claim =
+  let decided_list =
+    Array.to_list decided
+    |> List.filteri (fun _ v -> v <> None)
+    |> List.map (function Some v -> v | None -> assert false)
+  in
+  let distinct_decided =
+    List.fold_left
+      (fun acc v -> if List.exists (Json.equal v) acc then acc else v :: acc)
+      [] decided_list
+    |> List.rev
+  in
+  match kind with
+  | "space_bound" ->
+      let* bound = int_field "bound" claim in
+      let* claimed = index_list "registers_written" ~limit:registers claim in
+      let* covered = index_list "covered" ~limit:registers claim in
+      let* fresh = int_field "fresh_register" claim in
+      if bound <> n - 1 then errf "claim.bound %d is not n - 1" bound
+      else if written_registers trace <> claimed then
+        errf "claim.registers_written disagrees with the trace"
+      else if List.length claimed < bound then
+        errf "only %d distinct registers written, claim needs %d"
+          (List.length claimed) bound
+      else if fresh < 0 || fresh >= registers then
+        errf "claim.fresh_register out of range"
+      else if List.mem fresh covered then
+        errf "claim.fresh_register is among the covered registers"
+      else Ok ()
+  | "agreement" ->
+      let* k = int_field "k" claim in
+      let* values = list_field "values" claim in
+      let distinct_claim =
+        List.fold_left
+          (fun acc v -> if List.exists (Json.equal v) acc then acc else v :: acc)
+          [] values
+      in
+      if k < 1 then errf "claim.k must be positive"
+      else if List.length distinct_claim <> List.length values then
+        errf "claim.values contains duplicates"
+      else if List.length values <= k then
+        errf "%d decision values do not violate %d-agreement"
+          (List.length values) k
+      else if
+        List.for_all (fun v -> List.exists (Json.equal v) distinct_decided) values
+        && List.for_all
+             (fun v -> List.exists (Json.equal v) values)
+             distinct_decided
+      then Ok ()
+      else errf "claim.values disagree with the decisions of the replay"
+  | "validity" ->
+      let* v = value_field "value" claim in
+      if not (List.exists (Json.equal v) decided_list) then
+        errf "claimed invalid decision was never decided in the replay"
+      else if List.exists (Json.equal v) inputs then
+        errf "claimed invalid decision is one of the inputs"
+      else Ok ()
+  | "solo-termination" ->
+      let* pid = int_field "pid" claim in
+      if pid < 0 || pid >= n then errf "claim.pid out of range"
+      else if decided.(pid) <> None then
+        errf "claimed stuck process %d decided in the replay" pid
+      else Ok ()
+  | "resilience" ->
+      let* crashed = index_list "crashed" ~limit:n claim in
+      let* survivors = index_list "survivors" ~limit:n claim in
+      if survivors = [] then errf "claim.survivors is empty"
+      else if List.exists (fun p -> List.mem p survivors) crashed then
+        errf "claim.crashed and claim.survivors overlap"
+      else if
+        List.sort compare (crashed @ survivors) <> List.init n (fun i -> i)
+      then errf "claim.crashed and claim.survivors do not partition 0..n-1"
+      else if List.exists (fun p -> decided.(p) <> None) survivors then
+        errf "a claimed stuck survivor decided in the replay"
+      else Ok ()
+  | other -> errf "unknown certificate kind %s" other
+
+let check doc =
+  let* kvs =
+    match doc with
+    | Obj kvs -> Ok kvs
+    | _ -> Error "certificate is not a JSON object"
+  in
+  let* () =
+    if List.for_all (fun (k, _) -> List.mem k expected_fields) kvs then Ok ()
+    else Error "certificate carries an unexpected top-level field"
+  in
+  let* version = int_field "cert_version" doc in
+  let* () =
+    if version = supported_cert_version then Ok ()
+    else
+      errf "unsupported cert_version %d (checker understands %d)" version
+        supported_cert_version
+  in
+  (* The self-digest first: it binds every byte of the document, so any
+     tampering is caught before the semantic checks run. *)
+  let* stored = str_field "digest" doc in
+  let body = Obj (List.filter (fun (k, _) -> k <> "digest") kvs) in
+  let recomputed = fnv64_hex (to_string body) in
+  let* () =
+    if String.equal stored recomputed then Ok ()
+    else errf "digest mismatch: certificate was altered (stored %s, recomputed %s)"
+        stored recomputed
+  in
+  let* protocol = field "protocol" doc in
+  let* name = str_field "name" protocol in
+  let* () = if name = "" then Error "empty protocol name" else Ok () in
+  let* n = int_field "n" protocol in
+  let* registers = int_field "registers" protocol in
+  let* () =
+    if n < 1 then errf "protocol.n %d is not positive" n
+    else if registers < 0 then errf "negative register count"
+    else Ok ()
+  in
+  let* kind = str_field "kind" doc in
+  let* inputs = list_field "inputs" doc in
+  let* () =
+    if List.length inputs <> n then
+      errf "%d inputs for %d processes" (List.length inputs) n
+    else if List.for_all well_formed_value inputs then Ok ()
+    else Error "malformed input value"
+  in
+  let* schedule = list_field "schedule" doc in
+  let* trace = list_field "trace" doc in
+  let* regs, decided = replay ~n ~registers ~schedule ~trace in
+  (* The claimed final state must be exactly what the replay produced. *)
+  let decided_json =
+    List.init n (fun p ->
+        match decided.(p) with
+        | Some v -> Some (Obj [ ("p", Int p); ("v", v) ])
+        | None -> None)
+    |> List.filter_map Fun.id
+  in
+  let final_mine =
+    Obj [ ("regs", List (Array.to_list regs)); ("decided", List decided_json) ]
+  in
+  let* final_given = field "final" doc in
+  let* () =
+    if Json.equal final_given final_mine then Ok ()
+    else Error "claimed final state disagrees with the replay"
+  in
+  let* state_digest = str_field "state_digest" doc in
+  let* () =
+    if String.equal state_digest (fnv64_hex (to_string final_mine)) then Ok ()
+    else Error "state digest disagrees with the replayed final state"
+  in
+  let* claim = field "claim" doc in
+  check_claim ~kind ~n ~registers ~inputs ~trace ~decided claim
+
+let check_string s =
+  match Json.of_string s with
+  | Error e -> Error e
+  | Ok doc -> check doc

@@ -1,0 +1,73 @@
+(** The independent certificate micro-checker.
+
+    This module is the small trusted base of the certificate story: given
+    the canonical-JSON certificate emitted by [ts_cert] (see
+    [docs/CERTIFICATES.md]), it re-implements just enough of the
+    read/write/swap register step semantics to replay the embedded
+    schedule over a fresh register file and confirm — or reject — the
+    claimed verdict.  It deliberately shares {e no} code with the engine:
+    no [ts_model], no [ts_core], nothing beyond the OCaml stdlib (the dune
+    stanza has no [libraries] field, and CI greps to keep it that way).
+
+    What the checker establishes, entirely from the certificate bytes:
+
+    - the self-digest binds the whole document (any altered field is
+      caught before semantic checks run);
+    - the step trace is a legal register history: every read returns the
+      current register contents, every swap displaces them, writes land,
+      decided processes take no further steps, all indices are in range,
+      and the trace agrees step-by-step with the schedule;
+    - the claimed final state (registers, decisions, state digest) is
+      exactly what the replay produces;
+    - the claim itself follows from the replay (registers written,
+      decision values, undecided processes — per certificate kind).
+
+    What it cannot establish is that each step is what the {e protocol}
+    was poised to do — that needs the protocol's code, which the checker
+    must not link.  That half is discharged by the engine-side
+    [Ts_cert.Cert.validate], which regenerates the trace from the
+    protocol; the two checks together are the trust argument. *)
+
+(** The certificate format version this checker understands.  Must equal
+    [Ts_cert.Cert.cert_version]; the golden test pins both. *)
+val supported_cert_version : int
+
+(** A self-contained JSON tree, parser and canonical serializer.  The
+    serializer is the canonical form: compact (no insignificant
+    whitespace), object fields in emission order, no floats.  Digests are
+    computed over this form, so any syntactically different rendering of
+    the same tree still digests identically after a parse/re-serialize
+    round trip. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (** Canonical compact rendering. *)
+  val to_string : t -> string
+
+  (** Parse one JSON document.  Floats are rejected (certificates carry
+      none), duplicate object keys are rejected, trailing garbage is an
+      error.  [Error msg] carries a byte position. *)
+  val of_string : string -> (t, string) result
+
+  (** [member k doc] is field [k] of object [doc], if present. *)
+  val member : string -> t -> t option
+
+  val equal : t -> t -> bool
+end
+
+(** FNV-1a 64-bit hash of a byte string, as 16 lowercase hex characters.
+    The digest primitive of the certificate format. *)
+val fnv64_hex : string -> string
+
+(** [check doc] replays the certificate and verifies digest, trace and
+    claim.  [Error msg] pinpoints the first inconsistency. *)
+val check : Json.t -> (unit, string) result
+
+(** [check_string s] parses and {!check}s.  A parse error is a rejection. *)
+val check_string : string -> (unit, string) result

@@ -14,6 +14,12 @@ let entries :
      fun ~n ->
        if n = 2 then Ok (Protocol.Packed (Swap_consensus.two_process ()))
        else Error "swap consensus exists only for n = 2");
+    ("kset", "partitioned k-set agreement (k = 2)",
+     fun ~n ->
+       if n >= 2 then Ok (Protocol.Packed (Kset.make ~n ~k:2))
+       else Error "kset with k = 2 needs n >= 2");
+    ("multivalued", "multivalued consensus over 2-bit inputs",
+     fun ~n -> Ok (Protocol.Packed (Multivalued.make ~n ~bits:2)));
     ("swap-chain", "naive chained swap (negative control)",
      fun ~n -> Ok (Protocol.Packed (Swap_consensus.naive_chain ~n)));
     ("broken-lww", "last-write-wins (agreement violation control)",
@@ -26,6 +32,8 @@ let entries :
      fun ~n -> Ok (Protocol.Packed (Broken.insomniac ~n)));
     ("broken-wait", "waits for all (resilience violation control)",
      fun ~n -> Ok (Protocol.Packed (Broken.wait_for_all ~n)));
+    ("broken-rogue", "writes outside its declared registers (lint control)",
+     fun ~n -> Ok (Protocol.Packed (Broken.rogue_writer ~n)));
   ]
 
 let find name ~n =

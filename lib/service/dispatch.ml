@@ -5,7 +5,7 @@ module Explore = Ts_checker.Explore
 module Obs = Ts_obs.Obs
 module Store = Ts_store.Store
 
-let cache_version = 1
+let cache_version = 2
 
 type t = {
   cache : string Cache.t;
@@ -53,6 +53,7 @@ let cache_key (r : Request.t) =
   int r.Request.solo_budget;
   int (if r.Request.check_solo then 1 else 0);
   int r.Request.t_faults;
+  int (if r.Request.certificate then 1 else 0);
   Ckey.of_string (Buffer.contents buf)
 
 let cache_key_hex r = Ckey.to_hex (cache_key r)
@@ -75,6 +76,23 @@ let budget_of t (r : Request.t) =
 let canonical_inputs n = Array.init n (fun p -> Value.int (if p = 1 then 1 else 0))
 
 exception Reject of string * string  (* code, message *)
+
+(* Splice an emitted certificate into a result document.  The certificate
+   is built in its own canonical JSON and re-parsed here: the digest binds
+   the tree, not the rendering, so the round trip is harmless and cached /
+   recovered copies stay independently checkable. *)
+let with_certificate cert json =
+  match cert with
+  | None -> json
+  | Some c -> (
+    let cj =
+      match Json.of_string (Ts_cert.Cert.to_string c) with
+      | Ok j -> j
+      | Error _ -> Json.Null
+    in
+    match json with
+    | Json.Obj kvs -> Json.Obj (kvs @ [ ("certificate", cj) ])
+    | other -> other)
 
 let protocol_of (r : Request.t) =
   match Ts_protocols.Catalog.find r.Request.protocol ~n:r.Request.n with
@@ -118,7 +136,12 @@ let compute t (r : Request.t) : Json.t * bool =
     (match outcome with
      | Theorem.Complete cert ->
        let verified = Theorem.verify cert proto in
-       ( Response.witness_to_json ~horizon_used ~verified cert,
+       let emitted =
+         if r.Request.certificate then Some (Ts_cert.Cert.of_theorem proto cert)
+         else None
+       in
+       ( with_certificate emitted
+           (Response.witness_to_json ~horizon_used ~verified cert),
          verified = Ok () )
      | Theorem.Partial (stop, progress) ->
        (Response.witness_partial_to_json ~horizon_used stop progress, false))
@@ -130,7 +153,12 @@ let compute t (r : Request.t) : Json.t * bool =
         ~max_configs:r.Request.max_configs ~max_depth:r.Request.max_depth
         ~solo_budget:r.Request.solo_budget ~check_solo:r.Request.check_solo
     in
-    ( Response.explore_to_json result,
+    let emitted =
+      match (r.Request.certificate, result.Explore.verdict) with
+      | true, Error v -> Some (Ts_cert.Cert.of_violation proto v)
+      | _ -> None
+    in
+    ( with_certificate emitted (Response.explore_to_json result),
       result.Explore.stopped = None && result.Explore.worker_errors = [] )
   | Request.Resilient ->
     let (Protocol.Packed proto) = protocol_of r in
@@ -146,7 +174,12 @@ let compute t (r : Request.t) : Json.t * bool =
       | Error v -> Some (Explore.replay proto v)
       | Ok () -> None
     in
-    ( Response.explore_to_json ?replay result,
+    let emitted =
+      match (r.Request.certificate, result.Explore.verdict) with
+      | true, Error v -> Some (Ts_cert.Cert.of_violation proto v)
+      | _ -> None
+    in
+    ( with_certificate emitted (Response.explore_to_json ?replay result),
       result.Explore.stopped = None && result.Explore.worker_errors = [] )
   | Request.Valency ->
     let (Protocol.Packed proto) = protocol_of r in

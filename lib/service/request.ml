@@ -43,6 +43,7 @@ type t = {
   solo_budget : int;
   check_solo : bool;
   t_faults : int;
+  certificate : bool;
   deadline : float option;
   max_nodes : int option;
 }
@@ -61,6 +62,7 @@ let defaults =
     solo_budget = 300;
     check_solo = true;
     t_faults = 1;
+    certificate = false;
     deadline = None;
     max_nodes = None;
   }
@@ -125,12 +127,13 @@ let of_json doc =
     let* solo_budget = get_int doc "solo_budget" d.solo_budget in
     let* check_solo = get_bool doc "check_solo" d.check_solo in
     let* t_faults = get_int doc "t" d.t_faults in
+    let* certificate = get_bool doc "certificate" d.certificate in
     let* deadline = get_float_opt doc "deadline" d.deadline in
     let* max_nodes = get_int_opt doc "max_nodes" d.max_nodes in
     Ok
       {
         id; op; protocol; n; horizon; seed; max_configs; max_depth;
-        solo_budget; check_solo; t_faults; deadline; max_nodes;
+        solo_budget; check_solo; t_faults; certificate; deadline; max_nodes;
       }
   | _ -> Error "request must be a JSON object"
 
@@ -150,6 +153,7 @@ let to_json r =
       ("solo_budget", Json.Int r.solo_budget);
       ("check_solo", Json.Bool r.check_solo);
       ("t", Json.Int r.t_faults);
+      ("certificate", Json.Bool r.certificate);
       ("deadline", opt_float r.deadline);
       ("max_nodes", opt_int r.max_nodes);
     ]

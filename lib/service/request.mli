@@ -31,6 +31,9 @@ type t = {
   solo_budget : int;
   check_solo : bool;
   t_faults : int;  (** crash-fault tolerance for [Resilient] *)
+  certificate : bool;
+      (** request an embedded {!Ts_cert.Cert} certificate with the answer
+          ([Witness]/[Check]/[Resilient]); cache-key material *)
   deadline : float option;  (** per-request wall-clock budget, seconds *)
   max_nodes : int option;  (** per-request search-node budget *)
 }

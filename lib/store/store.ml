@@ -2,6 +2,7 @@
 
 open Ts_model
 module Obs = Ts_obs.Obs
+module Trace = Ts_model.Trace
 
 let store_version = 1
 let magic = "TSWITLOG"
@@ -25,6 +26,7 @@ type t = {
   fd : Unix.file_descr;
   path : string;
   lock : Mutex.t;
+  loc : string;  (* race-detector location of the log + index *)
   index : (int * int) Ckey.Tbl.t;  (* key -> value offset, value length *)
   fsync : fsync;
   scratch : Buffer.t;  (* record assembly, reused across appends *)
@@ -168,6 +170,7 @@ let open_ ?(fsync = Always) path =
         fd;
         path;
         lock = Mutex.create ();
+        loc = Trace.fresh_loc "store.log";
         index = Ckey.Tbl.create 1024;
         fsync;
         scratch = Buffer.create 4096;
@@ -286,6 +289,9 @@ let append t ~key ~value =
   if String.length kraw = 0 then invalid_arg "Store.append: empty key";
   if String.length value > max_value_bytes then
     invalid_arg "Store.append: value exceeds max_value_bytes";
+  (* the cache write-through hook lands here from whichever domain
+     computed the answer — logged for the race detector *)
+  Trace.access ~loc:t.loc Trace.Write ~atomic:true;
   locked t @@ fun () ->
   if Ckey.Tbl.mem t.index key then false
   else begin
@@ -307,6 +313,7 @@ let append t ~key ~value =
   end
 
 let find t key =
+  Trace.access ~loc:t.loc Trace.Read ~atomic:true;
   locked t @@ fun () ->
   t.lookups <- t.lookups + 1;
   match Ckey.Tbl.find_opt t.index key with
@@ -326,6 +333,7 @@ let find t key =
       None)
 
 let mem t key =
+  Trace.access ~loc:t.loc Trace.Read ~atomic:true;
   locked t @@ fun () ->
   t.lookups <- t.lookups + 1;
   let m = Ckey.Tbl.mem t.index key in

@@ -239,6 +239,19 @@ let analyze_flags_every_broken () =
   Alcotest.(check bool) "planted caught" false (Race.race_free o.Analyze.planted);
   Alcotest.(check bool) "overall gate passes" true o.Analyze.ok
 
+(* Registry <-> catalog lockstep: every consensus protocol the CLI can
+   name is analyzed by the gate, and every gate entry is reachable from
+   the CLI.  A protocol added to lib/protocols without a registry entry
+   must fail analyze --all loudly, not slip through unanalyzed. *)
+let registry_catalog_lockstep () =
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list string)) "registry = catalog"
+    (sorted (Ts_protocols.Catalog.names ()))
+    (sorted (Ts_analysis.Registry.names ()));
+  let o = Analyze.analyze_all ~domains:1 () in
+  Alcotest.(check (list string)) "no uncataloged entries" [] o.Analyze.uncataloged;
+  Alcotest.(check (list string)) "no unregistered protocols" [] o.Analyze.unregistered
+
 let json_escaping () =
   Alcotest.(check string) "escapes" {|{"k":"a\"b\\c\n\u0007"}|}
     (Json.to_string (Json.Obj [ "k", Json.Str "a\"b\\c\n\007" ]))
@@ -279,6 +292,8 @@ let suite =
       Alcotest.test_case "race: planted fixture caught" `Quick race_planted_caught;
       Alcotest.test_case "race: engine certified race-free" `Quick race_engine_certified;
       Alcotest.test_case "trace: disarmed logging is inert" `Quick trace_disarmed_is_free;
+      Alcotest.test_case "analyze: registry/catalog lockstep" `Slow
+        registry_catalog_lockstep;
       Alcotest.test_case "analyze: gate matches every expectation" `Slow
         analyze_flags_every_broken;
       Alcotest.test_case "json: string escaping" `Quick json_escaping;

@@ -44,18 +44,22 @@ let config_goldens =
   ]
 
 (* Golden service cache keys for a default witness request per catalog
-   name ([n] = 2 where the protocol requires it, else 3). *)
+   name ([n] = 2 where the protocol requires it, else 3).  Regenerated at
+   cache_version 2, which added the certificate flag to the key. *)
 let request_goldens =
   [
-    ("racing", "020e7769746e6573730c726163696e670601d41fc0a90750d8040202");
-    ("racing-rand", "020e7769746e65737316726163696e672d72616e640601d41fc0a90750d8040202");
-    ("swap", "020e7769746e65737308737761700401d41fc0a90750d8040202");
-    ("swap-chain", "020e7769746e65737314737761702d636861696e0601d41fc0a90750d8040202");
-    ("broken-lww", "020e7769746e6573731462726f6b656e2d6c77770601d41fc0a90750d8040202");
-    ("broken-max", "020e7769746e6573731462726f6b656e2d6d61780601d41fc0a90750d8040202");
-    ("broken-const", "020e7769746e6573731862726f6b656e2d636f6e73740601d41fc0a90750d8040202");
-    ("broken-spin", "020e7769746e6573731662726f6b656e2d7370696e0601d41fc0a90750d8040202");
-    ("broken-wait", "020e7769746e6573731662726f6b656e2d776169740601d41fc0a90750d8040202");
+    ("racing", "040e7769746e6573730c726163696e670601d41fc0a90750d804020200");
+    ("racing-rand", "040e7769746e65737316726163696e672d72616e640601d41fc0a90750d804020200");
+    ("swap", "040e7769746e65737308737761700401d41fc0a90750d804020200");
+    ("kset", "040e7769746e657373086b7365740601d41fc0a90750d804020200");
+    ("multivalued", "040e7769746e657373166d756c746976616c7565640601d41fc0a90750d804020200");
+    ("swap-chain", "040e7769746e65737314737761702d636861696e0601d41fc0a90750d804020200");
+    ("broken-lww", "040e7769746e6573731462726f6b656e2d6c77770601d41fc0a90750d804020200");
+    ("broken-max", "040e7769746e6573731462726f6b656e2d6d61780601d41fc0a90750d804020200");
+    ("broken-const", "040e7769746e6573731862726f6b656e2d636f6e73740601d41fc0a90750d804020200");
+    ("broken-spin", "040e7769746e6573731662726f6b656e2d7370696e0601d41fc0a90750d804020200");
+    ("broken-wait", "040e7769746e6573731662726f6b656e2d776169740601d41fc0a90750d804020200");
+    ("broken-rogue", "040e7769746e6573731862726f6b656e2d726f6775650601d41fc0a90750d804020200");
   ]
 
 let config_digest (e : Registry.entry) =
@@ -70,7 +74,7 @@ let config_digest (e : Registry.entry) =
 
 let test_version_pinned () =
   (* when this fails you bumped the version: refresh every golden here *)
-  Alcotest.(check int) "Dispatch.cache_version matches the goldens" 1
+  Alcotest.(check int) "Dispatch.cache_version matches the goldens" 2
     Dispatch.cache_version
 
 let test_registry_covered () =
@@ -87,6 +91,11 @@ let test_config_digests () =
         Alcotest.(check string) (bump_hint ^ "initial config of " ^ name) golden
           (config_digest e))
     config_goldens
+
+let test_catalog_covered () =
+  Alcotest.(check (list string)) "every catalog name has a request golden"
+    (Ts_protocols.Catalog.names ())
+    (List.map fst request_goldens)
 
 let test_request_digests () =
   List.iter
@@ -115,6 +124,7 @@ let test_request_digest_sensitivity () =
   differs "solo_budget" { base with Request.solo_budget = 11 };
   differs "check_solo" { base with Request.check_solo = not base.Request.check_solo };
   differs "t_faults" { base with Request.t_faults = 2 };
+  differs "certificate" { base with Request.certificate = true };
   Alcotest.(check string) "deadline is NOT cache-key material (partials are never cached)"
     (key base)
     (key { base with Request.deadline = Some 1.0 });
@@ -134,6 +144,29 @@ let hex s =
     (List.map
        (fun c -> Printf.sprintf "%02x" (Char.code c))
        (List.init (String.length s) (String.get s)))
+
+(* The certificate header is wire format too: auditors parse it with
+   checkers built from docs/CERTIFICATES.md, not from this tree.  If this
+   fails and the change is intentional, bump Ts_cert.Cert.cert_version
+   (and Ts_microcheck.Microcheck.supported_cert_version with it) and
+   refresh the golden. *)
+let cert_bump_hint =
+  "certificate serialization changed — bump Ts_cert.Cert.cert_version and \
+   Microcheck.supported_cert_version, then refresh: "
+
+let test_cert_header_golden () =
+  let proto = Ts_protocols.Racing.make ~n:2 in
+  match Ts_core.Theorem.theorem1_escalate proto ~initial_horizon:8 with
+  | Ts_core.Theorem.Complete c, _ ->
+    let s = Ts_cert.Cert.to_string (Ts_cert.Cert.of_theorem proto c) in
+    Alcotest.(check string) (cert_bump_hint ^ "header")
+      ({|{"cert_version":1,"kind":"space_bound","protocol":{"name":"racing-2",|}
+       ^ {|"n":2,"registers":4},"inputs":[0,1],"schedule":[{"p|})
+      (String.sub s 0 120);
+    Alcotest.(check int) (cert_bump_hint ^ "racing-2 certificate length") 941
+      (String.length s)
+  | Ts_core.Theorem.Partial _, _ ->
+    Alcotest.fail "racing n=2 Theorem 1 should complete unbudgeted"
 
 let test_store_version_pinned () =
   Alcotest.(check int) "Store.store_version matches the goldens" 1
@@ -157,6 +190,7 @@ let suite =
       Alcotest.test_case "cache_version pinned to goldens" `Quick test_version_pinned;
       Alcotest.test_case "every registry entry covered" `Quick test_registry_covered;
       Alcotest.test_case "initial-config digests" `Quick test_config_digests;
+      Alcotest.test_case "every catalog name covered" `Quick test_catalog_covered;
       Alcotest.test_case "witness-request cache keys" `Quick test_request_digests;
       Alcotest.test_case "key sensitivity (and budget exclusion)" `Quick
         test_request_digest_sensitivity;
@@ -165,4 +199,6 @@ let suite =
       Alcotest.test_case "store file header bytes" `Quick test_store_header_bytes;
       Alcotest.test_case "store record encoding bytes" `Quick
         test_store_record_bytes;
+      Alcotest.test_case "certificate header golden" `Quick
+        test_cert_header_golden;
     ] )

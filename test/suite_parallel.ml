@@ -162,6 +162,72 @@ let test_cache_hammer () =
   Alcotest.(check bool) "cache hammer race-free" true
     (Ts_analysis.Race.race_free report)
 
+(* --- the service path under the race detector ------------------------- *)
+
+(* PR-3 extension: the event-loop mailbox (self-pipe posting) and the
+   cache -> store write-through now log accesses.  Drive a store-backed
+   daemon from concurrent clients — certified witness queries, so the
+   answer path crosses cert emission, the cache and the store append —
+   and certify the whole run race-free. *)
+let test_service_store_race_free () =
+  let module Server = Ts_service.Server in
+  let module Client = Ts_service.Client in
+  let module Request = Ts_service.Request in
+  let path = Filename.temp_file "tightspace-race" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Trace.start ();
+  let events =
+    let server =
+      Server.start
+        { Server.default_config with Server.port = 0; store_path = Some path }
+    in
+    Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+    let port = Server.port server in
+    let answers =
+      Par.map_list ~domains:3
+        (fun d ->
+          let conn = Client.connect_exn ~port () in
+          Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+          (* repeats included: the second round must hit cache/store *)
+          List.init 4 (fun j ->
+              let req =
+                { Request.defaults with
+                  Request.op = Request.Witness;
+                  n = 2;
+                  id = (d * 10) + j;
+                  certificate = true }
+              in
+              match Client.rpc conn (Request.to_json req) with
+              | Ok doc ->
+                Ts_analysis.Json.member "ok" doc
+                = Some (Ts_analysis.Json.Bool true)
+              | Error _ -> false))
+        [ 0; 1; 2 ];
+    in
+    Alcotest.(check bool) "every certified query answered" true
+      (List.for_all (List.for_all Fun.id) answers);
+    Trace.stop ()
+  in
+  let report = Ts_analysis.Race.check events in
+  Alcotest.(check bool) "accesses logged" true
+    (report.Ts_analysis.Race.accesses > 0);
+  let touched prefix =
+    List.exists
+      (function
+        | Trace.Access { loc; _ } ->
+          String.length loc >= String.length prefix
+          && String.sub loc 0 (String.length prefix) = prefix
+        | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "evloop mailbox instrumented" true
+    (touched "evloop.mailbox");
+  Alcotest.(check bool) "store log instrumented" true (touched "store.log");
+  Alcotest.(check bool) "service + store race-free" true
+    (Ts_analysis.Race.race_free report)
+
 (* --- qcheck: key packing is injective on reachable configurations ----- *)
 
 (* Random walk from random binary inputs; collects the visited configs. *)
@@ -235,5 +301,7 @@ let suite =
       Alcotest.test_case "no domain leak on raise" `Quick test_no_domain_leak_on_raise;
       Alcotest.test_case "cache hammer: 4 domains, race-free, correct" `Quick
         test_cache_hammer;
+      Alcotest.test_case "store-backed service: race-free, instrumented" `Quick
+        test_service_store_race_free;
     ]
     @ qcheck_cases )
