@@ -376,6 +376,106 @@ let check_t_resilient ?(domains = 1) ?(budget = Budget.unlimited) ~t proto ~inpu
         ~guard:budget)
     inputs_list
 
+(* --- cluster-facing hooks ---------------------------------------------- *)
+
+(* Successor enumeration in exactly the order [bfs_reachable] inlines it:
+   pid ascending, a Flip resolved heads before tails.  The distributed
+   engine's parallel==serial certification leans on this order being the
+   one serial insertion order, so it is exported as a named hook rather
+   than re-derived (and possibly re-derived differently) in lib/cluster. *)
+let successors proto cfg =
+  let acc = ref [] in
+  for p = proto.Protocol.num_processes - 1 downto 0 do
+    match Config.poised proto cfg p with
+    | None -> ()
+    | Some Action.Flip ->
+      acc :=
+        (Execution.flip p true, fst (Config.step proto cfg p ~coin:(Some true)))
+        :: (Execution.flip p false, fst (Config.step proto cfg p ~coin:(Some false)))
+        :: !acc
+    | Some _ ->
+      acc := (Execution.ev p, fst (Config.step proto cfg p ~coin:None)) :: !acc
+  done;
+  !acc
+
+(* One externally-materialized configuration put through the same property
+   checks as a [bfs_reachable] examine, with the same probe order and an
+   exact count of the solo/group probes run (every probe is a cache miss:
+   probe keys are (config, mask) pairs and a deduplicated search examines
+   each configuration once).  The cache is still consulted so the code
+   path — including its counter discipline — is the serial one. *)
+type 's examiner = {
+  ex_run : 's Config.t -> Execution.event list -> violation option * int;
+}
+
+let consensus_examiner proto ~k ~inputs ~solo_budget ~check_solo =
+  let pk = Ckey.packer proto in
+  let solo_cache = Ckey.Salted_tbl.create 256 in
+  let solo_loc = Trace.fresh_loc "explore.cluster_solo_cache" in
+  let run cfg schedule =
+    let counters = fresh_counters () in
+    let check () =
+      let decided = Config.decided_values cfg in
+      List.iter
+        (fun v ->
+          if not (Array.exists (Value.equal v) inputs) then
+            raise (Found (Validity_violation { inputs; schedule; value = v })))
+        decided;
+      if List.length decided > k then
+        raise (Found (Agreement_violation { inputs; schedule; values = decided }));
+      if check_solo then
+        for p = 0 to proto.Protocol.num_processes - 1 do
+          if Config.has_decided cfg p = None
+             && not
+                  (solo_can_decide proto pk cfg p ~budget:solo_budget
+                     ~guard:Budget.unlimited ~cache:solo_cache ~cache_loc:solo_loc
+                     ~counters)
+          then raise (Found (Solo_stuck { inputs; schedule; pid = p }))
+        done
+    in
+    match check () with
+    | () -> (None, counters.solo_misses)
+    | exception Found v -> (Some v, counters.solo_misses)
+  in
+  { ex_run = run }
+
+let resilience_examiner proto ~t ~inputs ~solo_budget =
+  let n = proto.Protocol.num_processes in
+  if t < 0 || t >= n then
+    invalid_arg "Explore.resilience_examiner: need 0 <= t <= n-1";
+  let pk = Ckey.packer proto in
+  let crash_sets = subsets_of_size n t in
+  let cache = Ckey.Salted_tbl.create 256 in
+  let cache_loc = Trace.fresh_loc "explore.cluster_group_cache" in
+  let run cfg schedule =
+    let counters = fresh_counters () in
+    let check () =
+      List.iter
+        (fun f ->
+          let survivors = Pset.diff (Pset.all n) f in
+          if not
+               (group_can_decide proto pk cfg survivors ~budget:solo_budget
+                  ~guard:Budget.unlimited ~cache ~cache_loc ~counters)
+          then
+            raise
+              (Found
+                 (Crash_stuck
+                    {
+                      inputs;
+                      schedule;
+                      crashed = Pset.to_list f;
+                      survivors = Pset.to_list survivors;
+                    })))
+        crash_sets
+    in
+    match check () with
+    | () -> (None, counters.solo_misses)
+    | exception Found v -> (Some v, counters.solo_misses)
+  in
+  { ex_run = run }
+
+let examine ex cfg ~schedule = ex.ex_run cfg schedule
+
 (* --- counterexample replay -------------------------------------------- *)
 
 let values_equal xs ys =

@@ -132,6 +132,61 @@ val check_t_resilient :
   solo_budget:int ->
   result
 
+(** {2 Cluster hooks}
+
+    The distributed search engine ({!module:Ts_cluster}) re-runs this
+    module's BFS as a level-synchronous fan-out over worker nodes and
+    certifies its answer {e byte-identical} to the serial one.  That
+    argument needs two serial internals exported verbatim rather than
+    re-derived: the successor order (= the serial insertion order) and the
+    examine semantics (= the serial violation and probe-count semantics). *)
+
+(** [successors proto cfg] enumerates the successor configurations of
+    [cfg] in exactly the order the serial BFS inlines them: pid ascending,
+    a coin flip resolved heads before tails.  Each successor is paired
+    with the event that reaches it. *)
+val successors :
+  's Protocol.t -> 's Config.t -> (Execution.event * 's Config.t) list
+
+type 's examiner
+(** The property checks one dequeued configuration undergoes, packaged
+    with its probe cache.  Build one per search; it is not thread-safe. *)
+
+(** The consensus-property examine of {!check_consensus} /
+    {!check_set_agreement}: validity, then [k]-agreement, then (when
+    [check_solo]) per-pid solo termination in pid order. *)
+val consensus_examiner :
+  's Protocol.t ->
+  k:int ->
+  inputs:Value.t array ->
+  solo_budget:int ->
+  check_solo:bool ->
+  's examiner
+
+(** The crash-resilience examine of {!check_t_resilient}: every crash set
+    of size [t] in increasing mask order, survivor-group decidability
+    probed within [solo_budget].
+    @raise Invalid_argument unless [0 <= t <= n-1]. *)
+val resilience_examiner :
+  's Protocol.t ->
+  t:int ->
+  inputs:Value.t array ->
+  solo_budget:int ->
+  's examiner
+
+(** [examine ex cfg ~schedule] checks one configuration and returns the
+    violation (if any) together with the number of solo/group probes run
+    — exactly the serial search's [solo_cache_misses] contribution for
+    this configuration ({e every} probe misses: probe keys are distinct
+    (configuration, mask) pairs and a deduplicated search examines each
+    configuration once).  [schedule] is the forward schedule reaching
+    [cfg], embedded in any violation witness. *)
+val examine :
+  's examiner ->
+  's Config.t ->
+  schedule:Execution.event list ->
+  violation option * int
+
 (** [replay proto v] independently re-validates a reported violation:
     re-applies its schedule step by step from the initial configuration
     (via {!Ts_model.Execution.apply}, i.e. [Config.step] folded) and

@@ -1,0 +1,60 @@
+(** A cluster worker node: the shard-local half of the distributed
+    search.
+
+    A worker owns, per active search, a set of per-shard visited tables
+    (keyed by raw {!Ts_model.Ckey} digests) and answers the
+    coordinator's round messages: {b ingest} (deduplicate a batch of
+    frontier candidates against the owner shard's table, examine the
+    fresh ones), {b expand} (enumerate successors of previously
+    ingested configurations, tagged with their owner shards), {b steal}
+    (export/import a shard's visited set when the coordinator migrates
+    it), and {b finish} (drop the search, report telemetry).  All
+    compute runs on the event-loop domain — a worker is single-threaded
+    by design; parallelism is across workers.
+
+    {b Idempotency.}  Every state-mutating message carries a
+    coordinator-assigned per-search sequence number.  The worker
+    memoizes the last processed (seq, reply) pair and replays the reply
+    verbatim on a duplicate, which is what makes the resilient
+    retrying {!Ts_service.Client} safe to use against workers even
+    though ingest/expand are not pure queries. *)
+
+type t
+(** The worker state container (all active searches). *)
+
+val create : ?verbose:bool -> unit -> t
+
+(** [handle t payload] processes one framed request payload and returns
+    the reply document — the full message surface, exposed directly so
+    tests and the in-process coordinator peers can drive a worker
+    without sockets.  Never raises: failures become typed error
+    documents. *)
+val handle : t -> string -> string
+
+val active_searches : t -> int
+
+(** {1 TCP server} *)
+
+type server
+
+type config = {
+  host : string;
+  port : int;  (** [0] picks an ephemeral port *)
+  verbose : bool;
+}
+
+val default_config : config
+
+(** [start config] binds, announces ["cluster worker: listening on
+    HOST:PORT"] on stdout, and serves on a spawned domain until
+    {!request_stop}.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+val start : config -> server
+
+val port : server -> int
+val request_stop : server -> unit
+
+(** Join the loop domain (after {!request_stop}). *)
+val wait : server -> unit
+
+val stop : server -> unit

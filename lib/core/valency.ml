@@ -229,6 +229,27 @@ let univalent_value t cfg ps =
   | Univalent (v, _) -> Some v
   | Bivalent _ | Blocked -> None
 
+(* --- cluster hooks ------------------------------------------------------ *)
+
+let decides cfg v = decided_here cfg v
+
+let successors_within proto cfg ps =
+  let acc = ref [] in
+  Pset.iter
+    (fun p ->
+      let push coin =
+        let cfg', _ = Config.step proto cfg p ~coin in
+        acc := ({ Execution.pid = p; coin }, cfg') :: !acc
+      in
+      match Config.poised proto cfg p with
+      | None -> ()
+      | Some Action.Flip ->
+        push (Some true);
+        push (Some false)
+      | Some _ -> push None)
+    ps;
+  List.rev !acc
+
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf "%d searches over %d nodes, memo %d/%d hit/miss, frontier peak %d"
     s.searches s.nodes_expanded s.memo_hits s.memo_misses s.peak_frontier

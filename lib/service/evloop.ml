@@ -297,7 +297,13 @@ let run t ~stop ~on_payload ~on_frame_error =
         (fun fd conn ->
           if
             (not stopping) && (not conn.no_more_reads)
-            && (conn.rlen < Bytes.length conn.rbuf || conn.rpos > 0)
+            && (conn.rlen < Bytes.length conn.rbuf || conn.rpos > 0
+                (* a full buffer holding one incomplete frame is not
+                   backpressure: do_read can still grow it toward the
+                   frame cap, so the fd must stay in the read set or the
+                   connection deadlocks on any frame over the initial
+                   buffer size *)
+               || Bytes.length conn.rbuf < rbuf_cap)
           then rfds := fd :: !rfds;
           if out_pending conn then wfds := fd :: !wfds)
         t.conns;

@@ -314,6 +314,35 @@ let test_e2e_malformed_survival () =
   Alcotest.(check bool) "malformed frames counted" true (s.Server.malformed >= 2);
   Alcotest.(check int) "no handler died" 0 (s.Server.job_errors)
 
+(* Regression: a single frame larger than the event loop's initial 8 KiB
+   read buffer must still be read to completion.  The loop grows the
+   buffer inside its read handler, so the select read-set must keep a
+   connection whose buffer is full-but-growable — a guard that dropped it
+   deadlocked the connection forever (found by the cluster coordinator,
+   whose ingest frames cross 8 KiB on wide frontiers). *)
+let test_e2e_oversized_frame () =
+  with_server @@ fun server ->
+  let big = String.make 30_000 'x' in
+  let doc =
+    Json.Obj [ ("op", Json.Str "witness"); ("protocol", Json.Str big) ]
+  in
+  (* a bounded-timeout client so a regression fails the test instead of
+     hanging the suite *)
+  let client =
+    Client.make ~port:(Server.port server)
+      ~policy:{ Client.default_policy with Client.attempts = 1; timeout_ms = 10_000 }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Client.shutdown client) @@ fun () ->
+  match Client.call client doc with
+  | Error e -> Alcotest.failf "daemon never answered the 30k frame: %s" e
+  | Ok resp ->
+    Alcotest.(check (option string)) "typed error, whole frame parsed"
+      (Some "unknown-protocol")
+      (match Json.member "error" resp with
+       | Some e -> member_str "code" e
+       | None -> None)
+
 let test_e2e_concurrent_clients () =
   with_server ~workers:4 @@ fun server ->
   let port = Server.port server in
@@ -662,6 +691,8 @@ let suite =
         test_e2e_ping_and_witness;
       Alcotest.test_case "e2e: cached equals fresh, byte for byte" `Quick
         test_e2e_cached_equals_fresh;
+      Alcotest.test_case "e2e: a frame beyond the loop's initial buffer" `Quick
+        test_e2e_oversized_frame;
       Alcotest.test_case "e2e: malformed input never kills the daemon" `Quick
         test_e2e_malformed_survival;
       Alcotest.test_case "e2e: concurrent clients agree" `Quick
