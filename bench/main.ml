@@ -90,6 +90,24 @@ let bechamel_tests () =
          match Ts_microcheck.Microcheck.check_string bytes with
          | Ok () -> ()
          | Error e -> failwith e)));
+    (* E26: the second engine's construction, and the full two-engine
+       agreement check the crosscheck gate runs per protocol. *)
+    Test.make ~name:"e26-revisionist-racing2" (stage (fun () ->
+        let module R = Ts_revisionist.Revisionist in
+        match R.construct (Racing.make ~n:2) with
+        | R.Complete _ -> ()
+        | R.Partial _ -> failwith "revisionist stopped on racing n=2"));
+    Test.make ~name:"e26-two-engine-racing2" (stage (fun () ->
+        let module R = Ts_revisionist.Revisionist in
+        let proto = Racing.make ~n:2 in
+        let t = Valency.create proto ~horizon:40 in
+        let lem = Theorem.theorem1 t in
+        match R.construct proto with
+        | R.Complete rev ->
+          (match Ts_core.Outcome.agree (Ts_core.Outcome.of_theorem lem) (R.summary rev) with
+           | Ok _ -> ()
+           | Error m -> failwith m)
+        | R.Partial _ -> failwith "revisionist stopped on racing n=2"));
   ]
 
 (* Search-engine observability: run the e14 and e5/e6 workloads once more

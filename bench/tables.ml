@@ -445,6 +445,61 @@ let e17 () =
   Format.printf
     "  One swap register solves 2-process consensus wait-free; registers cannot.@.  \  Zhu's proof machinery runs on swap protocols but its n-1 bound is only@.  \  known for read/write registers — the open problem of §4.@."
 
+(* E26: the two lower-bound engines side by side.  Same protocols, same
+   claimed bound, incomparable machinery: the Lemmas engine pays for
+   valency-oracle searches, the revisionist engine for simulated private
+   steps and revisions.  Both witnesses are re-verified in the loop, so a
+   row of this table is a completed crosscheck agreement. *)
+let e26 () =
+  header "E26" "Two engines, one bound: Lemmas 1-4 vs revisionist simulations";
+  let module R = Ts_revisionist.Revisionist in
+  Format.printf "%-14s %4s %6s | %12s %9s %8s | %12s %9s %8s@." "protocol" "n"
+    "agree" "lemmas-sched" "searches" "ms" "rev-sched" "revisions" "ms";
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  List.iter
+    (fun (Protocol.Packed proto) ->
+      let n = proto.Protocol.num_processes in
+      let lem, lem_ms =
+        timed (fun () ->
+            match Theorem.theorem1_escalate proto ~initial_horizon:(10 * n) with
+            | Theorem.Complete c, _ when Theorem.verify c proto = Ok () -> Some c
+            | _ -> None)
+      in
+      let rev, rev_ms =
+        timed (fun () ->
+            match R.escalate proto ~initial_solo:(10 * n) with
+            | R.Complete c, _ when R.verify c proto = Ok () -> Some c
+            | _ -> None)
+      in
+      match (lem, rev) with
+      | Some lc, Some rc ->
+        let agree =
+          match Outcome.agree (Outcome.of_theorem lc) (R.summary rc) with
+          | Ok b -> string_of_int b
+          | Error _ -> "DIVERGE"
+        in
+        Format.printf "%-14s %4d %6s | %12d %9d %8.1f | %12d %9d %8.1f@."
+          proto.Protocol.name n agree
+          (List.length lc.Theorem.schedule)
+          lc.Theorem.oracle_searches lem_ms
+          (List.length rc.R.schedule)
+          rc.R.revisions rev_ms
+      | _ ->
+        Format.printf "%-14s %4d %6s@." proto.Protocol.name n
+          "(an engine stopped)")
+    [
+      Protocol.Packed (Racing.make ~n:2);
+      Protocol.Packed (Racing.make ~n:3);
+      Protocol.Packed (Racing.make_randomized ~n:2);
+      Protocol.Packed (Swap_consensus.two_process ());
+    ];
+  Format.printf
+    "  Same bound from disjoint proofs: the oracle-driven Lemma walk and the@.  \  parking adversary agree register-for-register (tightspace crosscheck@.  \  gates CI on exactly this agreement).@."
+
 let all ?max_n () =
   e1 ?max_n ();
   e2 ();
@@ -462,4 +517,5 @@ let all ?max_n () =
   e14 ();
   e15 ();
   e16 ();
-  e17 ()
+  e17 ();
+  e26 ()

@@ -117,21 +117,193 @@ let certificate_arg =
                  FILE.  Witness needs a complete construction; check and \
                  resilient need a violation.")
 
+(* The two lower-bound engines, selectable wherever a space-bound witness
+   is produced.  [lemmas] is the Lemma 1-4 / Theorem-1 construction,
+   [revisionist] the revisionist-simulation engine, [both] runs the two
+   and demands they agree. *)
+module Rev = Ts_revisionist.Revisionist
+
+let engine_conv =
+  Arg.enum [ ("lemmas", `Lemmas); ("revisionist", `Revisionist); ("both", `Both) ]
+
+let engine_arg =
+  Arg.(value & opt engine_conv `Lemmas
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Lower-bound engine: $(b,lemmas) (the Lemma 1-4 \
+                 construction), $(b,revisionist) (revisionist \
+                 simulations), or $(b,both) (run the two and fail unless \
+                 they agree on the bound).")
+
+(* Run the Lemmas engine to an outcome: an explicit horizon is a promise
+   (no escalation), the default escalates from 10n. *)
+let lemmas_outcome ~budget ~horizon ~n proto =
+  match horizon with
+  | Some h ->
+    let t = Valency.create ~budget proto ~horizon:h in
+    Theorem.theorem1_outcome t, h
+  | None -> Theorem.theorem1_escalate ~budget proto ~initial_horizon:(10 * n)
+
+(* The revisionist sibling: --horizon doubles as the private-run
+   allowance, same no-escalation promise when explicit. *)
+let revisionist_outcome ~budget ~horizon ~n proto =
+  match horizon with
+  | Some h -> Rev.construct ~budget ~max_solo:h proto, h
+  | None -> Rev.escalate ~budget proto ~initial_solo:(10 * n)
+
+let witness_revisionist ~json ~certificate ~budget ~horizon ~n proto =
+  match revisionist_outcome ~budget ~horizon ~n proto with
+  | Rev.Complete cert, used ->
+    let verified = Rev.verify cert proto in
+    if json then
+      pr_json
+        (Ts_service.Response.revisionist_to_json ~max_solo_used:used ~verified
+           cert)
+    else begin
+      Format.printf "%a@.(private-run allowance: %d)@." Rev.pp_certificate cert
+        used;
+      match verified with
+      | Ok () -> Format.printf "independent replay: verified.@."
+      | Error e -> Format.printf "replay FAILED: %s@." e
+    end;
+    let cert_ok =
+      match certificate with
+      | None -> true
+      | Some file ->
+        write_certificate ~file (Ts_cert.Cert.of_revisionist proto cert)
+    in
+    (match verified with Ok () when cert_ok -> 0 | _ -> 1)
+  | Rev.Partial (stop, progress), used ->
+    if json then
+      pr_json
+        (Ts_service.Response.revisionist_partial_to_json ~max_solo_used:used
+           stop progress)
+    else begin
+      Format.printf "partial result: %a@.progress: %a@." Rev.pp_stop stop
+        Rev.pp_progress progress;
+      match stop with
+      | Rev.Search_wall _ ->
+        Format.printf
+          "hint: raise --horizon beyond %d (or drop it to escalate automatically).@."
+          used
+      | Rev.Out_of_budget _ ->
+        Format.printf "hint: raise --deadline / --max-nodes and rerun.@."
+    end;
+    if certificate <> None then
+      Format.eprintf "no certificate: the construction was partial.@.";
+    2
+
+(* --engine both: run the two engines and diff the claims.  Exit 0 only
+   when both constructions complete, both witnesses replay, and the
+   bounds agree; 2 when either is partial; 1 on any divergence. *)
+let witness_both ~json ~budget ~horizon ~n proto =
+  let lem, lem_used = lemmas_outcome ~budget ~horizon ~n proto in
+  let rev, rev_used = revisionist_outcome ~budget ~horizon ~n proto in
+  match lem, rev with
+  | Theorem.Complete lc, Rev.Complete rc ->
+    let lv = Theorem.verify lc proto in
+    let rv = Rev.verify rc proto in
+    let agreement =
+      match lv, rv with
+      | Ok (), Ok () -> Outcome.agree (Outcome.of_theorem lc) (Rev.summary rc)
+      | Error e, _ -> Error ("lemmas witness replay failed: " ^ e)
+      | _, Error e -> Error ("revisionist witness replay failed: " ^ e)
+    in
+    if json then
+      pr_json
+        (Ts_analysis.Json.Obj
+           [
+             ("status", Ts_analysis.Json.Str "complete");
+             ("lemmas",
+              Ts_service.Response.witness_to_json ~horizon_used:lem_used
+                ~verified:lv lc);
+             ("revisionist",
+              Ts_service.Response.revisionist_to_json ~max_solo_used:rev_used
+                ~verified:rv rc);
+             ("agreement",
+              match agreement with
+              | Ok bound ->
+                Ts_analysis.Json.Obj
+                  [
+                    ("agreed", Ts_analysis.Json.Bool true);
+                    ("bound", Ts_analysis.Json.Int bound);
+                  ]
+              | Error reason ->
+                Ts_analysis.Json.Obj
+                  [
+                    ("agreed", Ts_analysis.Json.Bool false);
+                    ("reason", Ts_analysis.Json.Str reason);
+                  ]);
+           ])
+    else begin
+      Format.printf "%a@.@.%a@.@." Theorem.pp_certificate lc Rev.pp_certificate
+        rc;
+      match agreement with
+      | Ok bound -> Format.printf "engines agree: space bound %d.@." bound
+      | Error reason -> Format.printf "engines DIVERGE: %s@." reason
+    end;
+    (match agreement with Ok _ -> 0 | Error _ -> 1)
+  | _ ->
+    let side name = function
+      | `Done -> Format.printf "%s: complete.@." name
+      | `Part reason -> Format.printf "%s: partial (%s).@." name reason
+    in
+    let lem_state =
+      match lem with
+      | Theorem.Complete _ -> `Done
+      | Theorem.Partial (stop, _) ->
+        `Part (Format.asprintf "%a" Theorem.pp_stop stop)
+    in
+    let rev_state =
+      match rev with
+      | Rev.Complete _ -> `Done
+      | Rev.Partial (stop, _) ->
+        `Part (Format.asprintf "%a" Rev.pp_stop stop)
+    in
+    if json then
+      pr_json
+        (Ts_analysis.Json.Obj
+           [
+             ("status", Ts_analysis.Json.Str "partial");
+             ("lemmas",
+              match lem with
+              | Theorem.Complete _ -> Ts_analysis.Json.Str "complete"
+              | Theorem.Partial (stop, p) ->
+                Ts_service.Response.witness_partial_to_json
+                  ~horizon_used:lem_used stop p);
+             ("revisionist",
+              match rev with
+              | Rev.Complete _ -> Ts_analysis.Json.Str "complete"
+              | Rev.Partial (stop, p) ->
+                Ts_service.Response.revisionist_partial_to_json
+                  ~max_solo_used:rev_used stop p);
+           ])
+    else begin
+      side "lemmas" lem_state;
+      side "revisionist" rev_state;
+      Format.printf
+        "no comparison: both constructions must complete; raise budgets and rerun.@."
+    end;
+    2
+
 (* witness *)
-let witness n horizon protocol diagram deadline max_nodes metrics json certificate =
+let witness n horizon protocol diagram deadline max_nodes metrics json certificate engine =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
     with_metrics metrics @@ fun () ->
     let budget = budget_of ?deadline ?max_nodes () in
-    let outcome, used =
-      match horizon with
-      | Some h ->
-        (* an explicit horizon is a promise: no escalation, just report *)
-        let t = Valency.create ~budget proto ~horizon:h in
-        Theorem.theorem1_outcome t, h
-      | None -> Theorem.theorem1_escalate ~budget proto ~initial_horizon:(10 * n)
-    in
+    match engine with
+    | `Revisionist ->
+      witness_revisionist ~json ~certificate ~budget ~horizon ~n proto
+    | `Both ->
+      if certificate <> None then begin
+        prerr_endline
+          "witness: --certificate needs a single engine; pick --engine lemmas or revisionist.";
+        1
+      end
+      else witness_both ~json ~budget ~horizon ~n proto
+    | `Lemmas ->
+    let outcome, used = lemmas_outcome ~budget ~horizon ~n proto in
     (match outcome with
      | Theorem.Complete cert ->
        let verified = Theorem.verify cert proto in
@@ -180,16 +352,20 @@ let witness n horizon protocol diagram deadline max_nodes metrics json certifica
 
 let horizon_arg =
   Arg.(value & opt (some int) None & info [ "horizon" ] ~docv:"H"
-         ~doc:"Valency oracle search depth (default: escalate from 10n).")
+         ~doc:"Valency oracle search depth (lemmas) or private-run step \
+               allowance (revisionist); default: escalate from 10n.")
 
 let witness_cmd =
   let diagram =
     Arg.(value & flag & info [ "diagram" ] ~doc:"Render the witness as a space-time diagram.")
   in
-  Cmd.v (Cmd.info "witness" ~doc:"Run the Zhu Theorem-1 adversary")
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Run a lower-bound adversary (Zhu Theorem-1 by default; select \
+             with --engine)")
     Term.(const witness $ n_arg $ horizon_arg $ protocol_arg $ diagram
           $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg
-          $ certificate_arg)
+          $ certificate_arg $ engine_arg)
 
 (* check: shared result reporting for the exploration subcommands.
 
@@ -252,7 +428,38 @@ let certify_violation ~certificate proto (r : Ts_checker.Explore.result) =
       Format.eprintf "no certificate: no violation was found.@.";
       true)
 
-let check n protocol max_configs max_depth domains deadline max_nodes metrics json certificate =
+(* The optional space-bound appendix behind [check --engine]: run the
+   selected lower-bound engine(s) after the property check and fold its
+   exit code in.  Reuses the witness subcommand's reporting, so the
+   appendix documents are the same shape [witness --json] emits. *)
+let space_bound_pass ~json ~budget ~n proto = function
+  | `Both -> witness_both ~json ~budget ~horizon:None ~n proto
+  | `Revisionist ->
+    witness_revisionist ~json ~certificate:None ~budget ~horizon:None ~n proto
+  | `Lemmas -> (
+    match lemmas_outcome ~budget ~horizon:None ~n proto with
+    | Theorem.Complete c, used ->
+      let v = Theorem.verify c proto in
+      if json then
+        pr_json
+          (Ts_service.Response.witness_to_json ~horizon_used:used ~verified:v c)
+      else begin
+        Format.printf "%a@." Theorem.pp_certificate c;
+        match v with
+        | Ok () -> Format.printf "independent replay: verified.@."
+        | Error e -> Format.printf "replay FAILED: %s@." e
+      end;
+      (match v with Ok () -> 0 | Error _ -> 1)
+    | Theorem.Partial (stop, p), used ->
+      if json then
+        pr_json
+          (Ts_service.Response.witness_partial_to_json ~horizon_used:used stop
+             p)
+      else
+        Format.printf "space-bound pass partial: %a@." Theorem.pp_stop stop;
+      2)
+
+let check n protocol max_configs max_depth domains deadline max_nodes metrics json certificate engine =
   match protocol_of_name protocol n with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (Protocol.Packed proto) ->
@@ -266,13 +473,31 @@ let check n protocol max_configs max_depth domains deadline max_nodes metrics js
     in
     let cert_ok = certify_violation ~certificate proto r in
     let code = report_explore ~json r in
-    if cert_ok then code else 1
+    let engine_code =
+      match engine with
+      | None -> 0
+      | Some eng ->
+        if not json then Format.printf "@.space-bound pass (--engine):@.";
+        space_bound_pass ~json ~budget:(budget_of ?deadline ?max_nodes ()) ~n
+          proto eng
+    in
+    if cert_ok then max code engine_code else 1
+
+let check_engine_arg =
+  Arg.(value & opt (some engine_conv) None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Append a space-bound witness pass after the property check: \
+                 $(b,lemmas), $(b,revisionist) or $(b,both) (which also \
+                 diffs the two bounds and fails on divergence).  The pass \
+                 prints its own document after the check's; the merged exit \
+                 code is the worse of the two.  Without this flag the \
+                 output is exactly the classic check's.")
 
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Bounded model-check a protocol")
     Term.(const check $ n_arg $ protocol_arg $ max_configs_arg $ max_depth_arg
           $ domains_arg $ deadline_arg $ max_nodes_arg $ metrics_arg $ json_arg
-          $ certificate_arg)
+          $ certificate_arg $ check_engine_arg)
 
 (* resilient *)
 let resilient n t protocol max_configs max_depth domains deadline max_nodes metrics json certificate =
@@ -592,7 +817,7 @@ let trace_cmd =
           $ metrics_arg $ deadline_arg $ max_nodes_arg)
 
 (* analyze *)
-let analyze all protocol json domains certify =
+let analyze all protocol json domains certify crosscheck =
   let module A = Ts_analysis.Analyze in
   let pr_json j =
     print_endline (Ts_analysis.Json.to_string_pretty j)
@@ -607,9 +832,10 @@ let analyze all protocol json domains certify =
     else
       match protocol with
       | None ->
-        if certify then 0
+        if certify || crosscheck then 0
         else begin
-          prerr_endline "analyze: pass --all, --protocol NAME or --certify";
+          prerr_endline
+            "analyze: pass --all, --protocol NAME, --certify or --crosscheck";
           2
         end
       | Some name ->
@@ -636,8 +862,18 @@ let analyze all protocol json domains certify =
       if r.C.ok then 0 else 1
     end
   in
-  (* with both passes requested, either failing fails the gate *)
-  max base certified
+  let crosschecked =
+    if not crosscheck then 0
+    else begin
+      let module X = Ts_analysis.Crosscheck in
+      let r = X.run ~domains () in
+      if json then pr_json (X.report_to_json r)
+      else Format.printf "%a@." X.pp_report r;
+      if r.X.ok then 0 else 1
+    end
+  in
+  (* with several passes requested, any one failing fails the gate *)
+  max base (max certified crosschecked)
 
 let analyze_cmd =
   let all =
@@ -659,11 +895,22 @@ let analyze_cmd =
                    and the engine replay accept each one, and demand every \
                    tampered variant is rejected.")
   in
+  let crosscheck =
+    Arg.(value & flag
+         & info [ "crosscheck" ]
+             ~doc:"Run the gating two-engine cross-check: both lower-bound \
+                   engines over every registry entry, demanding identical \
+                   bounds and accepted witnesses where agreement is \
+                   expected, and demanding the planted divergence fixture \
+                   is caught.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the static analyzers: footprint lint, determinism checker, \
-             bounded property pass, engine race detector, certificate gate")
-    Term.(const analyze $ all $ protocol $ json $ domains_arg $ certify)
+             bounded property pass, engine race detector, certificate gate, \
+             two-engine cross-check")
+    Term.(const analyze $ all $ protocol $ json $ domains_arg $ certify
+          $ crosscheck)
 
 let cover_cmd =
   let alg =
@@ -989,6 +1236,61 @@ let certify_cmd =
              micro-checker (exit 3 if any certificate is rejected, 2 if a \
              file cannot be read)")
     Term.(const certify_files $ files $ json_arg)
+
+(* crosscheck: run both lower-bound engines over the registry and diff
+   their answers.  Full-run exit gates on the report (every expectation
+   met, at least one agreement); single-protocol exit gates on the
+   agreement itself: 0 agreed, 1 diverged, 2 nothing to compare. *)
+let crosscheck protocol json domains deadline metrics =
+  let module X = Ts_analysis.Crosscheck in
+  let pr_json j = print_endline (Ts_analysis.Json.to_string_pretty j) in
+  with_metrics metrics @@ fun () ->
+  match protocol with
+  | Some name -> (
+      match Ts_analysis.Registry.find name with
+      | None ->
+          Printf.eprintf "crosscheck: unknown protocol %S\n" name;
+          2
+      | Some e ->
+          let row = X.run_entry ?deadline e in
+          if json then pr_json (X.row_to_json row)
+          else Format.printf "%a@." X.pp_row row;
+          (match row.X.verdict with
+          | X.Agreed _ -> 0
+          | X.Diverged _ -> 1
+          | X.Unavailable _ -> 2))
+  | None ->
+      let r = X.run ~domains ?deadline () in
+      if json then pr_json (X.report_to_json r)
+      else Format.printf "%a@." X.pp_report r;
+      if r.X.ok then 0 else 1
+
+let crosscheck_cmd =
+  let protocol =
+    Arg.(value & opt (some string) None
+         & info [ "protocol" ] ~docv:"NAME"
+             ~doc:"Cross-check a single registry protocol instead of the \
+                   whole registry.  Exit gates on the diff itself: 0 when \
+                   the engines agree, 1 when they diverge, 2 when there is \
+                   nothing to compare.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-engine wall-clock budget for each protocol \
+                   (default 15 s); a stuck construction degrades to a \
+                   recorded partial rather than hanging the gate.")
+  in
+  Cmd.v
+    (Cmd.info "crosscheck"
+       ~doc:"Run both lower-bound engines — the Lemma 1-4 construction and \
+             the revisionist-simulation engine — over every registry \
+             protocol and diff their answers: identical space bounds, both \
+             witnesses replayed and certified.  Exits 0 only when every \
+             expected agreement holds and the planted divergence fixture \
+             is caught.")
+    Term.(const crosscheck $ protocol $ json_arg $ domains_arg $ deadline
+          $ metrics_arg)
 
 (* store: offline inspection of a witness log *)
 
@@ -1605,8 +1907,9 @@ let () =
            [
              witness_cmd; check_cmd; resilient_cmd; jtt_cmd; mutex_cmd;
              encode_cmd; elect_cmd; multicore_cmd; kset_cmd; multi_cmd;
-             dot_cmd; cover_cmd; analyze_cmd; certify_cmd; trace_cmd;
-             serve_cmd; query_cmd; store_cmd; chaos_cmd; cluster_cmd;
+             dot_cmd; cover_cmd; analyze_cmd; certify_cmd; crosscheck_cmd;
+             trace_cmd; serve_cmd; query_cmd; store_cmd; chaos_cmd;
+             cluster_cmd;
            ])
     with
     | Valency.Horizon_exceeded msg ->

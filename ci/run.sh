@@ -316,6 +316,33 @@ timeout 60 "$TS" store "$AUDIT_STORE" --audit > /tmp/store-audit.out
 grep -q "certificate pass" /tmp/store-audit.out
 rm -rf "$CERTDIR" "$AUDIT_STORE"
 
+echo "== crosscheck gate (two lower-bound engines, full registry; 10 min cap) =="
+# both engines over every registry protocol: identical bounds and accepted
+# witnesses wherever agreement is expected, and at least one agreement
+timeout 600 dune exec bin/tightspace.exe -- crosscheck --json \
+  > /tmp/crosscheck-gate.json
+grep -q '"ok": true' /tmp/crosscheck-gate.json
+# the gate must prove it can catch a divergence: the planted
+# broken-scribbler fixture (revisionist claims a bound, Lemmas refuses)
+# exits non-zero in single-protocol mode
+if timeout 300 dune exec bin/tightspace.exe -- crosscheck \
+     --protocol broken-scribbler > /dev/null 2>&1; then
+  echo "ci: crosscheck did not catch the planted broken-scribbler divergence" >&2
+  exit 1
+fi
+# ...and a genuine agreement exits zero
+timeout 300 dune exec bin/tightspace.exe -- crosscheck --protocol racing \
+  > /dev/null
+# the two-engine witness path agrees end to end on the CLI too
+timeout 300 "$TS" witness --protocol racing -n 2 --engine both \
+  > /tmp/witness-both.out
+grep -q "engines agree: space bound 1" /tmp/witness-both.out
+# a second-engine certificate round-trips through the micro-checker
+timeout 300 "$TS" witness --protocol racing -n 2 --engine revisionist \
+  --certificate /tmp/ci-rev-$$.cert > /dev/null
+timeout 60 "$TS" certify /tmp/ci-rev-$$.cert
+rm -f /tmp/ci-rev-$$.cert
+
 echo "== cluster smoke (2 TCP workers + coordinator, byte-identical to serial; 10 min cap) =="
 # the PR 9 bar: a two-worker cluster over real TCP returns the exact
 # bytes the serial engine prints — verdicts, violations, visit counts,

@@ -151,13 +151,24 @@ let harvest (e : Registry.entry) ~domains :
         match r.Explore.verdict with
         | Error v -> certs := ("resilience", Cert.of_violation proto v) :: !certs
         | Ok () -> ());
-      (* Theorem-1 space-bound witnesses for the tractable clean entries *)
-      if List.mem e.Registry.cli_name theorem_entries then
+      (* space-bound witnesses for the tractable clean entries, from BOTH
+         lower-bound engines: the revisionist witness certifies under the
+         same kind, so the micro-checker and the mutant battery exercise
+         second-engine certificates exactly like first-engine ones *)
+      if List.mem e.Registry.cli_name theorem_entries then begin
+        (let budget = Ts_core.Budget.create ~deadline:60.0 () in
+         match Theorem.theorem1_escalate ~budget proto ~initial_horizon:8 with
+         | Theorem.Complete c, _ ->
+             certs := ("space_bound", Cert.of_theorem proto c) :: !certs
+         | Theorem.Partial _, _ -> ());
         let budget = Ts_core.Budget.create ~deadline:60.0 () in
-        match Theorem.theorem1_escalate ~budget proto ~initial_horizon:8 with
-        | Theorem.Complete c, _ ->
-            certs := ("space_bound", Cert.of_theorem proto c) :: !certs
-        | Theorem.Partial _, _ -> ()
+        let module R = Ts_revisionist.Revisionist in
+        match R.escalate ~budget proto ~initial_solo:32 with
+        | R.Complete c, _ ->
+            certs :=
+              ("space_bound-revisionist", Cert.of_revisionist proto c) :: !certs
+        | R.Partial _, _ -> ()
+      end
     in
     match List.rev !certs with
     | [] -> (Error "no witness emitted at gate budgets", engine_ns)

@@ -1,0 +1,259 @@
+open Ts_model
+module Theorem = Ts_core.Theorem
+module Budget = Ts_core.Budget
+module Outcome = Ts_core.Outcome
+module Revisionist = Ts_revisionist.Revisionist
+module Cert = Ts_cert.Cert
+module Obs = Ts_obs.Obs
+
+type engine_result =
+  | Completed of Outcome.summary * string list
+  | Stopped of string
+
+type verdict =
+  | Agreed of int
+  | Diverged of string
+  | Unavailable of string
+
+type row = {
+  name : string;
+  expect : Registry.xcheck;
+  lemmas : engine_result option;
+  revisionist : engine_result option;
+  verdict : verdict;
+  lemmas_ns : int64;
+  revisionist_ns : int64;
+}
+
+type report = { rows : row list; ok : bool }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let t1 = Unix.gettimeofday () in
+  (x, Int64.of_float ((t1 -. t0) *. 1e9))
+
+(* Witness acceptance: the engine-side replay on the shared execution
+   substrate, plus the certificate pipeline (engine validate + the
+   independent micro-checker) where the fault-free space_bound kind
+   applies.  Returns the (empty-iff-accepted) error list. *)
+let acceptance ~replay ~cert proto =
+  let errs = ref [] in
+  (match replay with
+  | Ok () -> ()
+  | Error m -> errs := ("replay: " ^ m) :: !errs);
+  (match cert () with
+  | exception Invalid_argument m ->
+      errs := ("certificate build: " ^ m) :: !errs
+  | c -> (
+      (match Cert.validate proto c with
+      | Ok () -> ()
+      | Error m -> errs := ("certificate replay: " ^ m) :: !errs);
+      match Cert.microcheck c with
+      | Ok () -> ()
+      | Error m -> errs := ("microcheck: " ^ m) :: !errs));
+  List.rev !errs
+
+let run_lemmas proto ~deadline =
+  let budget = Budget.create ~deadline () in
+  match Theorem.theorem1_escalate ~budget proto ~initial_horizon:8 with
+  | Theorem.Complete c, _ ->
+      let errs =
+        acceptance proto ~replay:(Theorem.verify c proto)
+          ~cert:(fun () -> Cert.of_theorem proto c)
+      in
+      Completed (Outcome.of_theorem c, errs)
+  | Theorem.Partial (stop, _), _ ->
+      Stopped (Format.asprintf "%a" Theorem.pp_stop stop)
+
+let run_revisionist proto ~deadline =
+  let budget = Budget.create ~deadline () in
+  match Revisionist.escalate ~budget proto ~initial_solo:32 with
+  | Revisionist.Complete c, _ ->
+      let errs =
+        acceptance proto ~replay:(Revisionist.verify c proto)
+          ~cert:(fun () -> Cert.of_revisionist proto c)
+      in
+      Completed (Revisionist.summary c, errs)
+  | Revisionist.Partial (stop, _), _ ->
+      Stopped (Format.asprintf "%a" Revisionist.pp_stop stop)
+
+let verdict_of lemmas revisionist =
+  match (lemmas, revisionist) with
+  | None, _ | _, None ->
+      Unavailable "static lint errors — stepping this protocol is unsafe"
+  | Some (Completed (a, [])), Some (Completed (b, [])) -> (
+      match Outcome.agree a b with
+      | Ok bound -> Agreed bound
+      | Error m -> Diverged m)
+  | Some (Completed (_, e :: _)), _ ->
+      Diverged ("lemmas witness rejected: " ^ e)
+  | _, Some (Completed (_, e :: _)) ->
+      Diverged ("revisionist witness rejected: " ^ e)
+  | Some (Completed _), Some (Stopped m) ->
+      Diverged ("only lemmas completed; revisionist stopped: " ^ m)
+  | Some (Stopped m), Some (Completed _) ->
+      Diverged ("only revisionist completed; lemmas stopped: " ^ m)
+  | Some (Stopped a), Some (Stopped b) ->
+      Unavailable
+        (Printf.sprintf "neither engine completed (lemmas: %s; revisionist: %s)"
+           a b)
+
+let run_entry ?(deadline = 15.0) (e : Registry.entry) : row =
+  let (Protocol.Packed proto) = e.Registry.protocol in
+  let sp = Obs.enter ~cat:"crosscheck" "crosscheck.protocol" in
+  Obs.set_str sp "protocol" e.Registry.cli_name;
+  Fun.protect ~finally:(fun () -> Obs.close sp) @@ fun () ->
+  (* the lint controls cannot be stepped; mirror the analyzer's skip *)
+  let lint_findings, _ =
+    Lint.run e.Registry.claims proto ~inputs_list:e.Registry.inputs_list
+      ~max_configs:e.Registry.max_configs ~max_depth:e.Registry.max_depth
+  in
+  let row =
+    if Finding.errors lint_findings <> [] then
+      {
+        name = e.Registry.cli_name;
+        expect = e.Registry.xcheck;
+        lemmas = None;
+        revisionist = None;
+        verdict = Unavailable "static lint errors — stepping this protocol is unsafe";
+        lemmas_ns = 0L;
+        revisionist_ns = 0L;
+      }
+    else
+      let lemmas, lemmas_ns = timed (fun () -> run_lemmas proto ~deadline) in
+      let revisionist, revisionist_ns =
+        timed (fun () -> run_revisionist proto ~deadline)
+      in
+      let lemmas = Some lemmas and revisionist = Some revisionist in
+      {
+        name = e.Registry.cli_name;
+        expect = e.Registry.xcheck;
+        lemmas;
+        revisionist;
+        verdict = verdict_of lemmas revisionist;
+        lemmas_ns;
+        revisionist_ns;
+      }
+  in
+  Obs.Metrics.incr "crosscheck.compared";
+  (match row.verdict with
+  | Agreed _ -> Obs.Metrics.incr "crosscheck.agreed"
+  | Diverged _ -> Obs.Metrics.incr "crosscheck.diverged"
+  | Unavailable _ -> Obs.Metrics.incr "crosscheck.unavailable");
+  (match row.verdict with
+  | Agreed b -> Obs.set_int sp "bound" b
+  | Diverged _ -> Obs.set_bool sp "diverged" true
+  | Unavailable _ -> Obs.set_bool sp "unavailable" true);
+  row
+
+let row_ok (r : row) =
+  match (r.expect, r.verdict) with
+  | Registry.Expect_agree, Agreed _ -> true
+  | Registry.Expect_agree, _ -> false
+  | Registry.Expect_diverge, Diverged _ -> true
+  | Registry.Expect_diverge, _ -> false
+  | Registry.Informational, _ -> true
+
+let run ?(domains = 1) ?deadline () : report =
+  let entries = Registry.all () in
+  let rows =
+    if domains <= 1 then List.map (run_entry ?deadline) entries
+    else Par.map_list ~domains (run_entry ?deadline) entries
+  in
+  let ok =
+    List.for_all row_ok rows
+    && List.exists (fun r -> match r.verdict with Agreed _ -> true | _ -> false) rows
+  in
+  { rows; ok }
+
+(* --- rendering --------------------------------------------------------- *)
+
+let expect_name = function
+  | Registry.Expect_agree -> "agree"
+  | Registry.Expect_diverge -> "diverge"
+  | Registry.Informational -> "informational"
+
+let summary_to_json (s : Outcome.summary) =
+  Json.Obj
+    [
+      ("engine", Json.Str (Outcome.engine_name s.Outcome.engine));
+      ("n", Json.Int s.Outcome.n);
+      ("bound", Json.Int s.Outcome.bound);
+      ("registers_written",
+       Json.List (List.map (fun r -> Json.Int r) s.Outcome.registers_written));
+      ("schedule_length", Json.Int s.Outcome.schedule_length);
+      ("search_effort", Json.Int s.Outcome.search_effort);
+    ]
+
+let engine_result_to_json = function
+  | Completed (s, errs) ->
+      Json.Obj
+        [
+          ("status", Json.Str "complete");
+          ("summary", summary_to_json s);
+          ("witness_errors", Json.List (List.map (fun e -> Json.Str e) errs));
+        ]
+  | Stopped reason ->
+      Json.Obj [ ("status", Json.Str "partial"); ("reason", Json.Str reason) ]
+
+let verdict_to_json = function
+  | Agreed bound ->
+      Json.Obj [ ("status", Json.Str "agreed"); ("bound", Json.Int bound) ]
+  | Diverged reason ->
+      Json.Obj [ ("status", Json.Str "diverged"); ("reason", Json.Str reason) ]
+  | Unavailable reason ->
+      Json.Obj
+        [ ("status", Json.Str "unavailable"); ("reason", Json.Str reason) ]
+
+let row_to_json (r : row) =
+  Json.Obj
+    [
+      ("protocol", Json.Str r.name);
+      ("expect", Json.Str (expect_name r.expect));
+      ("verdict", verdict_to_json r.verdict);
+      ("ok", Json.Bool (row_ok r));
+      ("lemmas",
+       match r.lemmas with
+       | None -> Json.Null
+       | Some e -> engine_result_to_json e);
+      ("revisionist",
+       match r.revisionist with
+       | None -> Json.Null
+       | Some e -> engine_result_to_json e);
+      ("lemmas_ns", Json.Int (Int64.to_int r.lemmas_ns));
+      ("revisionist_ns", Json.Int (Int64.to_int r.revisionist_ns));
+    ]
+
+let report_to_json (r : report) =
+  let count p = List.length (List.filter p r.rows) in
+  Json.Obj
+    [
+      ("ok", Json.Bool r.ok);
+      ("agreed",
+       Json.Int (count (fun x -> match x.verdict with Agreed _ -> true | _ -> false)));
+      ("diverged",
+       Json.Int
+         (count (fun x -> match x.verdict with Diverged _ -> true | _ -> false)));
+      ("unavailable",
+       Json.Int
+         (count (fun x ->
+              match x.verdict with Unavailable _ -> true | _ -> false)));
+      ("rows", Json.List (List.map row_to_json r.rows));
+    ]
+
+let pp_verdict ppf = function
+  | Agreed bound -> Fmt.pf ppf "AGREE (bound %d)" bound
+  | Diverged reason -> Fmt.pf ppf "DIVERGE: %s" reason
+  | Unavailable reason -> Fmt.pf ppf "unavailable: %s" reason
+
+let pp_row ppf (r : row) =
+  Fmt.pf ppf "%-16s [expect %-13s] %a%s" r.name (expect_name r.expect)
+    pp_verdict r.verdict
+    (if row_ok r then "" else "  <-- gate failure")
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>%a@,crosscheck: %s@]"
+    (Fmt.list ~sep:Fmt.cut pp_row)
+    r.rows
+    (if r.ok then "PASS" else "FAIL")

@@ -1,0 +1,82 @@
+(** The two-engine cross-validation gate.
+
+    Runs both lower-bound engines — the Lemma 1–4 construction
+    ({!Ts_core.Theorem}) and the revisionist-simulation engine
+    ([Ts_revisionist.Revisionist]) — over every {!Registry} entry and
+    diffs their answers.  For each protocol the gate demands exactly what
+    the entry's {!Registry.xcheck} expectation declares:
+
+    - [Expect_agree]: both engines complete, claim the identical
+      register-count bound, and each witness is {e accepted} — it replays
+      on the shared execution substrate ({!Ts_core.Theorem.verify} /
+      [Revisionist.verify]) and its ["space_bound"] certificate passes
+      both the engine replay ({!Ts_cert.Cert.validate}) and the
+      independent micro-checker;
+    - [Expect_diverge]: the engines must disagree — the planted
+      [broken-scribbler] fixture, on which the revisionist adversary
+      happily claims a bound while the Lemmas engine correctly finds no
+      bivalent initial configuration.  A gate that cannot catch a planted
+      divergence would never catch a real one;
+    - [Informational]: the row is computed and reported but not gated
+      (negative controls, and clean protocols where one construction is
+      out of reach at gate budgets).
+
+    Each engine runs under its own per-entry {!Ts_core.Budget} deadline,
+    so a stuck construction degrades to a recorded partial rather than
+    hanging the gate.  Rows can be fanned out over domains with
+    {!Ts_model.Par}.
+
+    Instrumentation: span [crosscheck.protocol] (cat [crosscheck]) per
+    row; counters [crosscheck.compared], [crosscheck.agreed],
+    [crosscheck.diverged], [crosscheck.unavailable]
+    (docs/OBSERVABILITY.md). *)
+
+(** One engine's result on one protocol. *)
+type engine_result =
+  | Completed of Ts_core.Outcome.summary * string list
+      (** construction complete; the list holds witness-acceptance
+          errors (replay / certificate validation / micro-checker) and
+          is empty iff the witness is accepted *)
+  | Stopped of string  (** structured partial, with the stop reason *)
+
+(** What the diff of the two answers came to. *)
+type verdict =
+  | Agreed of int  (** both complete and accepted, equal bound *)
+  | Diverged of string  (** any disagreement, with the reason *)
+  | Unavailable of string
+      (** nothing to compare: static lint errors, or neither engine
+          completes at gate budgets *)
+
+type row = {
+  name : string;
+  expect : Registry.xcheck;
+  lemmas : engine_result option;  (** [None] when lint-skipped *)
+  revisionist : engine_result option;
+  verdict : verdict;
+  lemmas_ns : int64;
+  revisionist_ns : int64;
+}
+
+type report = {
+  rows : row list;
+  ok : bool;
+      (** every [Expect_agree] row agreed, every [Expect_diverge] row
+          diverged, and at least one agreement exists *)
+}
+
+(** [run_entry ?deadline e] cross-checks a single registry entry.
+    [deadline] (default 15 s) caps {e each} engine separately. *)
+val run_entry : ?deadline:float -> Registry.entry -> row
+
+(** [run ?domains ?deadline ()] cross-checks the whole registry,
+    fanning rows out over [domains] (default 1) with {!Ts_model.Par}. *)
+val run : ?domains:int -> ?deadline:float -> unit -> report
+
+(** Whether a single row meets its own expectation (the single-protocol
+    gate behind [tightspace crosscheck --protocol NAME]). *)
+val row_ok : row -> bool
+
+val report_to_json : report -> Json.t
+val row_to_json : row -> Json.t
+val pp_row : Format.formatter -> row -> unit
+val pp_report : Format.formatter -> report -> unit

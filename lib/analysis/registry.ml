@@ -1,5 +1,10 @@
 open Ts_model
 
+type xcheck =
+  | Expect_agree
+  | Expect_diverge
+  | Informational
+
 type entry = {
   cli_name : string;
   protocol : Protocol.packed;
@@ -10,6 +15,7 @@ type entry = {
   max_depth : int;
   solo_budget : int;
   expect_clean : bool;
+  xcheck : xcheck;
 }
 
 let rw_det = { Lint.binary_decides = true; may_swap = false; may_flip = false }
@@ -28,25 +34,28 @@ let range_inputs n ~lo ~hi =
 
 let entry ?(claims = rw_det) ?(k = 1) ?(max_configs = 4_000) ?(max_depth = 25)
     ?(solo_budget = 300) ?(inputs_list : Value.t array list option)
-    ?(expect_clean = true) cli_name (Protocol.Packed p as protocol) =
+    ?(expect_clean = true) ?(xcheck = Informational) cli_name
+    (Protocol.Packed p as protocol) =
   let inputs_list =
     match inputs_list with
     | Some l -> l
     | None -> Ts_checker.Explore.binary_inputs p.Protocol.num_processes
   in
   { cli_name; protocol; claims; inputs_list; k; max_configs; max_depth;
-    solo_budget; expect_clean }
+    solo_budget; expect_clean; xcheck }
 
 let all () =
   let open Ts_protocols in
   [
-    entry "racing" (Protocol.Packed (Racing.make ~n:2));
+    entry "racing" (Protocol.Packed (Racing.make ~n:2)) ~xcheck:Expect_agree;
     entry "racing-rand"
       (Protocol.Packed (Racing.make_randomized ~n:2))
-      ~claims:{ rw_det with may_flip = true };
+      ~claims:{ rw_det with may_flip = true }
+      ~xcheck:Expect_agree;
     entry "swap"
       (Protocol.Packed (Swap_consensus.two_process ()))
-      ~claims:{ rw_det with may_swap = true };
+      ~claims:{ rw_det with may_swap = true }
+      ~xcheck:Expect_agree;
     entry "kset" (Protocol.Packed (Kset.make ~n:3 ~k:2)) ~k:2
       ~max_configs:12_000 ~solo_budget:150;
     entry "multivalued"
@@ -71,6 +80,11 @@ let all () =
       ~expect_clean:false;
     entry "broken-rogue" (Protocol.Packed (Broken.rogue_writer ~n:2))
       ~expect_clean:false;
+    (* the crosscheck layer's planted divergence: the revisionist engine
+       claims a bound here, the Lemmas engine refuses — the gate must
+       catch the disagreement *)
+    entry "broken-scribbler" (Protocol.Packed (Broken.scribbler ~n:2))
+      ~expect_clean:false ~xcheck:Expect_diverge;
   ]
 
 let find name = List.find_opt (fun e -> String.equal e.cli_name name) (all ())

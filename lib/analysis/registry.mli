@@ -10,6 +10,18 @@
 
 open Ts_model
 
+(** What the two-engine cross-validation gate ({!Crosscheck}) expects of
+    this entry.  [Expect_agree] entries must have both lower-bound
+    engines complete with identical bounds and accepted witnesses;
+    [Expect_diverge] is the planted fixture the gate must catch
+    disagreeing; [Informational] rows are recorded but not gated — the
+    negative controls, and clean protocols where one engine's
+    construction is out of reach at gate budgets. *)
+type xcheck =
+  | Expect_agree
+  | Expect_diverge
+  | Informational
+
 type entry = {
   cli_name : string;  (** stable name used by [tightspace analyze --protocol] *)
   protocol : Protocol.packed;
@@ -20,6 +32,7 @@ type entry = {
   max_depth : int;
   solo_budget : int;
   expect_clean : bool;
+  xcheck : xcheck;  (** the two-engine cross-check gate's expectation *)
 }
 
 (** Every registered instance, in display order. *)

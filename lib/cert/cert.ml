@@ -147,6 +147,28 @@ let of_theorem proto (c : Ts_core.Theorem.certificate) =
   build proto ~kind:"space_bound" ~inputs:c.Ts_core.Theorem.inputs
     ~schedule:c.Ts_core.Theorem.schedule ~claim
 
+(* The revisionist engine's witness makes the same shape of claim as the
+   Theorem-1 construction — n-1 distinct registers written, a covered set
+   and the fresh register the last parked process was forced onto — so it
+   certifies under the same "space_bound" kind and the micro-checker needs
+   no new knowledge.  Crash-faulted constructions claim survivors-1 < n-1
+   and are not certifiable in this format. *)
+let of_revisionist proto (c : Ts_revisionist.Revisionist.certificate) =
+  let open Ts_revisionist.Revisionist in
+  if c.excluded <> [] then
+    invalid_arg "Cert.of_revisionist: crash-faulted constructions (bound < n - 1) are not certifiable";
+  let regs l = J.List (List.map (fun r -> J.Int r) l) in
+  let claim =
+    J.Obj
+      [
+        ("bound", J.Int c.bound);
+        ("registers_written", regs c.registers_written);
+        ("covered", regs c.covered_registers);
+        ("fresh_register", J.Int c.fresh_register);
+      ]
+  in
+  build proto ~kind:"space_bound" ~inputs:c.inputs ~schedule:c.schedule ~claim
+
 let of_violation ?(k = 1) proto (v : Ts_checker.Explore.violation) =
   let open Ts_checker.Explore in
   match v with

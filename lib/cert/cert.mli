@@ -37,6 +37,15 @@ type t
     @raise Invalid_argument if the schedule does not replay on [proto]. *)
 val of_theorem : 's Protocol.t -> Ts_core.Theorem.certificate -> t
 
+(** [of_revisionist proto cert] packages a revisionist-engine witness
+    under the same ["space_bound"] kind and claim shape as
+    {!of_theorem} — the micro-checker validates both engines' witnesses
+    identically.
+    @raise Invalid_argument if the schedule does not replay on [proto],
+    or if the construction excluded crashed processes (its bound is below
+    [n - 1] and does not fit this claim). *)
+val of_revisionist : 's Protocol.t -> Ts_revisionist.Revisionist.certificate -> t
+
 (** [of_violation ?k proto v] packages an {!Ts_checker.Explore.violation}
     ([k] is the set-agreement arity behind an agreement violation,
     default 1).

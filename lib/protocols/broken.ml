@@ -12,6 +12,7 @@ type state =
   | Wait_scan of { me : int; n : int; input : int; pos : int; best : int }
   | Wait_decide of int
   | Rogue of { input : int; stage : int }  (* 0: stray write, 1: decide *)
+  | Scribble of { me : int; n : int; input : int; announced : bool }
 
 let pp_state ppf = function
   | Lww { input; stage } -> Fmt.pf ppf "lww(%d,@%d)" input stage
@@ -25,6 +26,8 @@ let pp_state ppf = function
   | Wait_scan { pos; best; _ } -> Fmt.pf ppf "wait-scan(@%d,best=%d)" pos best
   | Wait_decide v -> Fmt.pf ppf "wait-d(%d)" v
   | Rogue { input; stage } -> Fmt.pf ppf "rogue(%d,@%d)" input stage
+  | Scribble { me; announced; _ } ->
+    Fmt.pf ppf "scribble(p%d,%s)" me (if announced then "deciding" else "writing")
 
 let encode_state buf = function
   | Lww { input; stage } ->
@@ -70,6 +73,11 @@ let encode_state buf = function
     Buffer.add_char buf 'R';
     Value.add_varint buf input;
     Value.add_varint buf stage
+  | Scribble { me; n = _; input; announced } ->
+    Buffer.add_char buf 'B';
+    Value.add_varint buf me;
+    Value.add_varint buf input;
+    Buffer.add_char buf (if announced then '1' else '0')
 
 let base ~name ~description ~n ~regs ~init ~poised ~on_read ~on_write :
     state Protocol.t =
@@ -184,6 +192,31 @@ let rogue_writer ~n =
     ~on_read:(fun _ _ -> assert false)
     ~on_write:(function
       | Rogue r -> Rogue { r with stage = 1 }
+      | _ -> assert false)
+
+(* The crosscheck layer's planted divergence: each process announces its
+   input in its own register, then decides the COMPLEMENT of it.  Every
+   run terminates (so the static lint passes and both engines get to
+   step it), and the revisionist engine happily parks every process on
+   its own fresh announcing write and claims the n-1 bound — but this is
+   not a consensus protocol at all: a solo run of p decides 1 - input,
+   so the Lemmas engine correctly refuses at Proposition 2 (p cannot
+   decide its own input solo) and the two engines must disagree.
+   [tightspace crosscheck] is required to catch exactly this. *)
+let scribbler ~n =
+  base ~name:(Printf.sprintf "broken-scribbler-%d" n)
+    ~description:"announce input, decide its complement" ~n ~regs:n
+    ~init:(fun ~pid ~input ->
+      Scribble { me = pid; n; input = Value.to_int input; announced = false })
+    ~poised:(function
+      | Scribble { me; input; announced = false; _ } ->
+        Action.Write (me, Value.int input)
+      | Scribble { input; announced = true; _ } ->
+        Action.Decide (Value.int (1 - input))
+      | _ -> assert false)
+    ~on_read:(fun _ _ -> assert false)
+    ~on_write:(function
+      | Scribble r -> Scribble { r with announced = true }
       | _ -> assert false)
 
 let insomniac ~n =

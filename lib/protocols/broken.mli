@@ -36,6 +36,19 @@ val wait_for_all : n:int -> state Ts_model.Protocol.t
     termination. *)
 val insomniac : n:int -> state Ts_model.Protocol.t
 
+(** The two-engine crosscheck's planted divergence fixture: each process
+    announces its input in its own register, then decides the
+    {e complement} of it.  Every run terminates — so the static lint
+    passes and both engines get to step it — but a solo run of [p]
+    decides [1 - input], so this is not a consensus protocol.  The
+    revisionist engine still parks every process on its own announcing
+    write and claims the [n - 1] bound, while the Lemmas engine
+    correctly refuses at Proposition 2 ([p] cannot decide its own input
+    solo); the crosscheck gate must flag exactly this disagreement
+    ([Ts_analysis.Crosscheck], [tightspace crosscheck --protocol
+    broken-scribbler]). *)
+val scribbler : n:int -> state Ts_model.Protocol.t
+
 (** Declares a single register but is poised to write register 1 — outside
     the declared range.  The footprint lint's negative control: the stray
     write is caught {e statically} ({!Ts_analysis.Lint}), before any

@@ -34,6 +34,8 @@ let entries :
      fun ~n -> Ok (Protocol.Packed (Broken.wait_for_all ~n)));
     ("broken-rogue", "writes outside its declared registers (lint control)",
      fun ~n -> Ok (Protocol.Packed (Broken.rogue_writer ~n)));
+    ("broken-scribbler", "announces then decides the complement (crosscheck divergence control)",
+     fun ~n -> Ok (Protocol.Packed (Broken.scribbler ~n)));
   ]
 
 let find name ~n =

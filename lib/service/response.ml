@@ -65,6 +65,63 @@ let witness_partial_to_json ~horizon_used stop (p : Theorem.progress) =
          ]);
     ]
 
+module Revisionist = Ts_revisionist.Revisionist
+
+let revisionist_to_json ~max_solo_used ~verified
+    (cert : Revisionist.certificate) =
+  Json.Obj
+    [
+      ("status", Json.Str "complete");
+      ("engine", Json.Str "revisionist");
+      ("protocol", Json.Str cert.Revisionist.protocol_name);
+      ("n", Json.Int cert.Revisionist.n);
+      ("excluded",
+       Json.List (List.map (fun p -> Json.Int p) cert.Revisionist.excluded));
+      ("max_solo", Json.Int max_solo_used);
+      ("inputs", inputs_to_json cert.Revisionist.inputs);
+      ("schedule_length", Json.Int (List.length cert.Revisionist.schedule));
+      ("registers_written", regs_to_json cert.Revisionist.registers_written);
+      ("space_bound", Json.Int cert.Revisionist.bound);
+      ("covered_registers", regs_to_json cert.Revisionist.covered_registers);
+      ("fresh_register", Json.Int cert.Revisionist.fresh_register);
+      ("parked",
+       Json.List
+         (List.map
+            (fun (p, r) ->
+              Json.Obj [ ("p", Json.Int p); ("register", Json.Int r) ])
+            cert.Revisionist.parked));
+      ("revisions", Json.Int cert.Revisionist.revisions);
+      ("private_steps", Json.Int cert.Revisionist.private_steps);
+      ("verified",
+       match verified with
+       | Ok () -> Json.Bool true
+       | Error msg -> Json.Obj [ ("failed", Json.Str msg) ]);
+    ]
+
+let revisionist_stop_to_json = function
+  | Revisionist.Out_of_budget b ->
+    Json.Obj [ ("reason", Json.Str "budget"); ("breach", breach_to_json b) ]
+  | Revisionist.Search_wall msg ->
+    Json.Obj [ ("reason", Json.Str "search-wall"); ("detail", Json.Str msg) ]
+
+let revisionist_partial_to_json ~max_solo_used stop
+    (p : Revisionist.progress) =
+  Json.Obj
+    [
+      ("status", Json.Str "partial");
+      ("engine", Json.Str "revisionist");
+      ("max_solo", Json.Int max_solo_used);
+      ("stop", revisionist_stop_to_json stop);
+      ("progress",
+       Json.Obj
+         [
+           ("max_solo", Json.Int p.Revisionist.max_solo);
+           ("parked", Json.Int p.Revisionist.parked);
+           ("revisions", Json.Int p.Revisionist.revisions);
+           ("private_steps", Json.Int p.Revisionist.private_steps);
+         ]);
+    ]
+
 let violation_to_json v =
   let base =
     [

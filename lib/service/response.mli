@@ -39,6 +39,23 @@ val witness_to_json :
 val witness_partial_to_json :
   horizon_used:int -> Theorem.stop -> Theorem.progress -> Json.t
 
+(** Revisionist-engine outcome, the [--engine revisionist] sibling of
+    {!witness_to_json}.  [verified] is the caller's independent
+    [Ts_revisionist.Revisionist.verify] replay. *)
+val revisionist_to_json :
+  max_solo_used:int ->
+  verified:(unit, string) result ->
+  Ts_revisionist.Revisionist.certificate ->
+  Json.t
+
+(** A stopped revisionist construction: status ["partial"] with the stop
+    reason and progress counters. *)
+val revisionist_partial_to_json :
+  max_solo_used:int ->
+  Ts_revisionist.Revisionist.stop ->
+  Ts_revisionist.Revisionist.progress ->
+  Json.t
+
 (** A checker result: verdict, optional violation (kind via
     {!Ts_checker.Explore.violation_kind}, inputs, schedule length and the
     kind-specific payload), full stats, optional breach, worker errors.

@@ -41,6 +41,7 @@ let config_goldens =
     ("broken-spin", "525a525a00");
     ("broken-wait", "52410000524102000000");
     ("broken-rogue", "525200005252000000");
+    ("broken-scribbler", "524200003052420200300000");
   ]
 
 (* Golden service cache keys for a default witness request per catalog
@@ -60,6 +61,7 @@ let request_goldens =
     ("broken-spin", "040e7769746e6573731662726f6b656e2d7370696e0601d41fc0a90750d804020200");
     ("broken-wait", "040e7769746e6573731662726f6b656e2d776169740601d41fc0a90750d804020200");
     ("broken-rogue", "040e7769746e6573731862726f6b656e2d726f6775650601d41fc0a90750d804020200");
+    ("broken-scribbler", "040e7769746e6573732062726f6b656e2d7363726962626c65720601d41fc0a90750d804020200");
   ]
 
 let config_digest (e : Registry.entry) =
